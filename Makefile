@@ -1,0 +1,40 @@
+GO ?= go
+
+.PHONY: all build test vet bench table1 table2 sweeps demo fmt
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full test run with the output captured (the repository's test record).
+test-record:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate the paper's tables and sweeps (EXPERIMENTS.md).
+table1:
+	$(GO) run ./cmd/routebench -n 128,256 -k 2,3
+
+table2:
+	$(GO) run ./cmd/treebench -n 256,1024,4096
+
+sweeps:
+	$(GO) run ./cmd/routebench -sweep k -n 256 -k 2,3,4
+	$(GO) run ./cmd/treebench -sweep n -n 128,256,512,1024,2048
+	$(GO) run ./cmd/treebench -sweep multitree -n 256
+	$(GO) run ./cmd/treebench -sweep hopset -n 256 -family grid
+
+demo:
+	$(GO) run ./cmd/routedemo
+
+fmt:
+	gofmt -w .

@@ -1,0 +1,174 @@
+// Command routebench regenerates the paper's Table 1 - the comparison of
+// general-graph compact routing schemes (rounds, table size, label size,
+// stretch, memory per vertex) - and the related sweeps (memory vs k,
+// stretch distribution). See EXPERIMENTS.md for the experiment index.
+//
+// Usage:
+//
+//	routebench                            # Table 1 at defaults
+//	routebench -n 256,512 -k 2,3 -family geometric
+//	routebench -sweep k -n 512           # E3: memory vs k
+//	routebench -sweep stretch -n 512 -k 3 # E5: stretch histogram
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/core"
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/metrics"
+)
+
+func main() {
+	var (
+		nList   = flag.String("n", "256", "comma-separated network sizes")
+		kList   = flag.String("k", "2,3", "comma-separated stretch parameters")
+		family  = flag.String("family", "erdos-renyi", "topology family (erdos-renyi, geometric, grid, torus, power-law, hypercube)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		pairs   = flag.Int("pairs", 200, "sampled pairs for stretch measurement")
+		sweep   = flag.String("sweep", "table1", "experiment: table1, k, stretch")
+		schemes = flag.String("schemes", "", "comma-separated scheme filter (tz,lp15,en16b,paper); empty = all")
+	)
+	flag.Parse()
+
+	ns, err := parseInts(*nList)
+	if err != nil {
+		fatalf("bad -n: %v", err)
+	}
+	ks, err := parseInts(*kList)
+	if err != nil {
+		fatalf("bad -k: %v", err)
+	}
+	var schemeFilter []string
+	if *schemes != "" {
+		schemeFilter = strings.Split(*schemes, ",")
+	}
+
+	switch *sweep {
+	case "table1":
+		runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter)
+	case "k":
+		runMemorySweep(graph.Family(*family), ns, ks, *seed)
+	case "stretch":
+		runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs)
+	default:
+		fatalf("unknown sweep %q", *sweep)
+	}
+}
+
+func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string) {
+	fmt.Printf("Table 1: distributed compact routing schemes (%s)\n\n", family)
+	headers := []string{"n", "k", "scheme", "rounds", "messages", "table(w)", "label(w)", "stretch max", "stretch avg", "mem peak(w)", "mem avg(w)"}
+	var rows [][]string
+	for _, n := range ns {
+		for _, k := range ks {
+			res, err := metrics.RunTable1(metrics.Table1Config{
+				Family: family, N: n, K: k, Seed: seed, Pairs: pairs, Schemes: schemes,
+			})
+			if err != nil {
+				fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			for _, r := range res {
+				rounds := "NA"
+				mem := "NA"
+				avg := "NA"
+				msgs := "NA"
+				if r.Rounds > 0 {
+					rounds = metrics.FormatInt(r.Rounds)
+					msgs = metrics.FormatInt(r.Messages)
+					mem = metrics.FormatInt(r.PeakMem)
+					avg = fmt.Sprintf("%.0f", r.AvgMem)
+				}
+				rows = append(rows, []string{
+					strconv.Itoa(r.N), strconv.Itoa(r.K), r.Scheme,
+					rounds, msgs,
+					strconv.Itoa(r.TableWords), strconv.Itoa(r.LabelWords),
+					fmt.Sprintf("%.2f", r.Stretch.Max), fmt.Sprintf("%.2f", r.Stretch.Avg),
+					mem, avg,
+				})
+			}
+		}
+	}
+	fmt.Print(metrics.FormatTable(headers, rows))
+	fmt.Printf("\nstretch bound: 4k-3 (+o(1) for distributed schemes); 'NA' = centralized construction\n")
+}
+
+func runMemorySweep(family graph.Family, ns, ks []int, seed int64) {
+	fmt.Printf("E3: per-vertex memory vs k (%s)\n\n", family)
+	headers := []string{"n", "k", "paper peak(w)", "paper avg(w)", "en16b peak(w)", "en16b avg(w)", "paper table(w)", "paper label(w)"}
+	var rows [][]string
+	for _, n := range ns {
+		pts, err := metrics.SweepMemoryVsK(family, n, ks, seed)
+		if err != nil {
+			fatalf("n=%d: %v", n, err)
+		}
+		for _, p := range pts {
+			rows = append(rows, []string{
+				strconv.Itoa(n), strconv.Itoa(p.K),
+				metrics.FormatInt(p.PaperPeak), fmt.Sprintf("%.0f", p.PaperAvg),
+				metrics.FormatInt(p.BaselinePeak), fmt.Sprintf("%.0f", p.BaselineAvg),
+				strconv.Itoa(p.PaperTable), strconv.Itoa(p.PaperLabel),
+			})
+		}
+	}
+	fmt.Print(metrics.FormatTable(headers, rows))
+	fmt.Printf("\nexpected shape: paper memory shrinks with k (Õ(n^{1/k})); en16b stays Ω(√n)\n")
+}
+
+func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int) {
+	const buckets = 12
+	const width = 0.5
+	for _, n := range ns {
+		for _, k := range ks {
+			g, err := graph.Generate(family, n, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				fatalf("generate: %v", err)
+			}
+			sim := congest.New(g, congest.WithSeed(seed))
+			s, err := core.Build(sim, core.Options{K: k, Seed: seed})
+			if err != nil {
+				fatalf("build: %v", err)
+			}
+			hist, err := metrics.StretchHistogram(g, s, pairs, buckets, width, rand.New(rand.NewSource(seed+1)))
+			if err != nil {
+				fatalf("histogram: %v", err)
+			}
+			fmt.Printf("E5: stretch distribution, n=%d k=%d (%s), bound 4k-3 = %d\n\n", n, k, family, 4*k-3)
+			max := 1
+			for _, c := range hist {
+				if c > max {
+					max = c
+				}
+			}
+			for i, c := range hist {
+				lo := 1 + float64(i)*width
+				bar := strings.Repeat("#", c*50/max)
+				fmt.Printf("  [%4.1f,%4.1f)  %5d  %s\n", lo, lo+width, c, bar)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "routebench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command routedemo builds the paper's routing scheme on a generated
+// network, routes a few messages, and prints per-hop traces alongside the
+// construction report - a quick end-to-end smoke of the whole system.
+//
+// Usage:
+//
+//	routedemo -n 256 -k 3 -family geometric -routes 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"lowmemroute"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 256, "network size")
+		k      = flag.Int("k", 3, "stretch parameter (stretch <= 4k-3)")
+		family = flag.String("family", "erdos-renyi", "topology family")
+		seed   = flag.Int64("seed", 1, "random seed")
+		routes = flag.Int("routes", 5, "number of demo routes")
+	)
+	flag.Parse()
+
+	net, err := lowmemroute.Generate(lowmemroute.Family(*family), *n, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("network: %s, %d nodes, %d links\n", *family, net.Nodes(), net.Links())
+
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: *k, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+	rep := scheme.Report()
+	fmt.Printf("\nconstruction (simulated CONGEST):\n")
+	fmt.Printf("  rounds            %d\n", rep.Rounds)
+	fmt.Printf("  messages          %d\n", rep.Messages)
+	fmt.Printf("  hop diameter (D)  %d\n", rep.HopDiameter)
+	fmt.Printf("  peak memory       %d words/node (avg %.0f)\n", rep.PeakMemory, rep.AvgMemory)
+	fmt.Printf("  max table         %d words\n", rep.MaxTableWords)
+	fmt.Printf("  max label         %d words\n", rep.MaxLabelWords)
+	fmt.Printf("  clusters/node     %d\n", rep.MaxClustersPerNode)
+	fmt.Printf("  hopset            %d edges, arboricity %d, beta %d\n",
+		rep.HopsetEdges, rep.HopsetArboricity, rep.BetaRealised)
+	fmt.Printf("  rounds by phase:\n")
+	for _, phase := range []string{"exact-pivots", "low-clusters", "hopset", "approx-pivots", "approx-clusters", "tree-routing"} {
+		if r, ok := rep.PhaseRounds[phase]; ok {
+			fmt.Printf("    %-16s %d\n", phase, r)
+		}
+	}
+	fmt.Println()
+
+	r := rand.New(rand.NewSource(*seed + 99))
+	for i := 0; i < *routes; i++ {
+		src, dst := r.Intn(net.Nodes()), r.Intn(net.Nodes())
+		path, err := scheme.Route(src, dst)
+		if err != nil {
+			fail(err)
+		}
+		exact := net.ShortestPath(src, dst)
+		stretch := 1.0
+		if exact > 0 {
+			stretch = path.Weight / exact
+		}
+		fmt.Printf("route %d -> %d: %d hops, weight %.0f (exact %.0f, stretch %.2f)\n",
+			src, dst, path.Hops(), path.Weight, exact, stretch)
+		fmt.Printf("  %v\n", path.Nodes)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "routedemo:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,170 @@
+// Command treebench regenerates the paper's Table 2 - the comparison of
+// distributed exact tree-routing schemes (rounds, table size, label size,
+// memory per vertex) - plus the rounds-vs-n scaling sweep (E4), the
+// multi-tree parallel-construction experiment (E6) and the hopset ablation
+// (E7). See EXPERIMENTS.md for the experiment index.
+//
+// Usage:
+//
+//	treebench                          # Table 2 at defaults
+//	treebench -n 256,1024 -tree dfs
+//	treebench -sweep n                 # E4: rounds vs n
+//	treebench -sweep multitree -n 256  # E6
+//	treebench -sweep hopset -n 256     # E7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/metrics"
+)
+
+func main() {
+	var (
+		nList  = flag.String("n", "256,1024", "comma-separated network sizes")
+		family = flag.String("family", "erdos-renyi", "topology family")
+		tree   = flag.String("tree", "dfs", "spanning tree kind: dfs (deep), bfs, sssp")
+		seed   = flag.Int64("seed", 1, "random seed")
+		pairs  = flag.Int("pairs", 200, "sampled pairs for exactness verification")
+		sweep  = flag.String("sweep", "table2", "experiment: table2, n, multitree, hopset")
+	)
+	flag.Parse()
+
+	ns, err := parseInts(*nList)
+	if err != nil {
+		fatalf("bad -n: %v", err)
+	}
+
+	switch *sweep {
+	case "table2":
+		runTable2(graph.Family(*family), ns, *tree, *seed, *pairs)
+	case "n":
+		runRoundsSweep(graph.Family(*family), ns, *seed)
+	case "multitree":
+		runMultiTree(graph.Family(*family), ns, *seed)
+	case "hopset":
+		runHopset(graph.Family(*family), ns, *seed)
+	default:
+		fatalf("unknown sweep %q", *sweep)
+	}
+}
+
+func runTable2(family graph.Family, ns []int, treeKind string, seed int64, pairs int) {
+	fmt.Printf("Table 2: distributed exact tree-routing schemes (%s, %s spanning trees)\n\n", family, treeKind)
+	headers := []string{"n", "tree height", "D", "scheme", "rounds", "messages", "table(w)", "label(w)", "header(w)", "mem peak(w)", "mem avg(w)", "exact"}
+	var rows [][]string
+	for _, n := range ns {
+		res, err := metrics.RunTable2(metrics.Table2Config{
+			Family: family, N: n, TreeKind: treeKind, Seed: seed, Pairs: pairs,
+		})
+		if err != nil {
+			fatalf("n=%d: %v", n, err)
+		}
+		for _, r := range res {
+			rounds, msgs, mem, avg := "NA", "NA", "NA", "NA"
+			if r.Rounds > 0 {
+				rounds = metrics.FormatInt(r.Rounds)
+				msgs = metrics.FormatInt(r.Messages)
+				mem = metrics.FormatInt(r.PeakMem)
+				avg = fmt.Sprintf("%.0f", r.AvgMem)
+			}
+			rows = append(rows, []string{
+				strconv.Itoa(r.N), strconv.Itoa(r.TreeHeight), strconv.Itoa(r.D), r.Scheme,
+				rounds, msgs,
+				strconv.Itoa(r.TableWords), strconv.Itoa(r.LabelWords), strconv.Itoa(r.HeaderWords),
+				mem, avg, fmt.Sprintf("%v", r.Exact),
+			})
+		}
+	}
+	fmt.Print(metrics.FormatTable(headers, rows))
+	fmt.Printf("\nexpected shape: paper-tree has O(1) tables, O(log n) labels, O(log n) memory;\n")
+	fmt.Printf("en16b-tree has O(log n) tables, O(log^2 n) labels, Ω(√n) memory; 'NA' = centralized\n")
+}
+
+func runRoundsSweep(family graph.Family, ns []int, seed int64) {
+	fmt.Printf("E4: paper tree-routing rounds vs n (%s, dfs spanning trees)\n\n", family)
+	pts, err := metrics.SweepTreeRoundsVsN(family, ns, seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	headers := []string{"n", "D", "tree height", "rounds", "messages", "mem peak(w)", "rounds/sqrt(n)"}
+	var rows [][]string
+	for _, p := range pts {
+		rows = append(rows, []string{
+			strconv.Itoa(p.N), strconv.Itoa(p.D), strconv.Itoa(p.Height),
+			metrics.FormatInt(p.Rounds), metrics.FormatInt(p.Messages),
+			metrics.FormatInt(p.PeakMem),
+			fmt.Sprintf("%.1f", float64(p.Rounds)/sqrtf(p.N)),
+		})
+	}
+	fmt.Print(metrics.FormatTable(headers, rows))
+	fmt.Printf("\nexpected shape: rounds grow like Õ(√n + D), far below the tree height\n")
+}
+
+func runMultiTree(family graph.Family, ns []int, seed int64) {
+	for _, n := range ns {
+		fmt.Printf("E6: parallel multi-tree construction, n=%d (%s)\n\n", n, family)
+		pts, err := metrics.RunMultiTree(family, n, []int{1, 2, 4, 8}, seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		headers := []string{"trees", "parallel rounds", "sequential sum", "speedup", "parallel mem(w)"}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				strconv.Itoa(p.Trees),
+				metrics.FormatInt(p.ParallelRounds), metrics.FormatInt(p.SequentialSum),
+				fmt.Sprintf("%.2fx", float64(p.SequentialSum)/float64(p.ParallelRounds)),
+				metrics.FormatInt(p.ParallelPeakMem),
+			})
+		}
+		fmt.Print(metrics.FormatTable(headers, rows))
+		fmt.Printf("\nexpected shape: parallel rounds ≈ Õ(√(sn)+D), well below the s·Õ(√n+D) sequential sum\n\n")
+	}
+}
+
+func runHopset(family graph.Family, ns []int, seed int64) {
+	for _, n := range ns {
+		fmt.Printf("E7: hopset ablation, n=%d (%s)\n\n", n, family)
+		pts, err := metrics.RunHopsetAblation(family, n, 0.25, []int{2, 3, 4}, seed)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		headers := []string{"kappa", "hopset edges", "arboricity", "measured beta", "BF iters with", "BF iters without"}
+		var rows [][]string
+		for _, p := range pts {
+			rows = append(rows, []string{
+				strconv.Itoa(p.Kappa), strconv.Itoa(p.Edges), strconv.Itoa(p.Arboricity),
+				strconv.Itoa(p.MeasuredBeta),
+				strconv.Itoa(p.IterWith), strconv.Itoa(p.IterWithout),
+			})
+		}
+		fmt.Print(metrics.FormatTable(headers, rows))
+		fmt.Printf("\nexpected shape: larger kappa shrinks arboricity (memory) at similar convergence\n\n")
+	}
+}
+
+func sqrtf(n int) float64 { return math.Sqrt(float64(n)) }
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "treebench: "+format+"\n", args...)
+	os.Exit(1)
+}

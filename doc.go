@@ -1,0 +1,34 @@
+// Package lowmemroute is a Go implementation of "Near-Optimal Distributed
+// Routing with Low Memory" (Elkin & Neiman, PODC 2018): compact routing
+// schemes for weighted networks whose distributed construction needs only
+// Õ(n^{1/k}) words of memory per node, with routing tables of Õ(n^{1/k})
+// words, labels of O(k log n) words, and stretch 4k-3+o(1); plus the
+// paper's exact tree-routing scheme with O(1)-word tables, O(log n)-word
+// labels and O(log n)-word construction memory.
+//
+// The package exposes a small facade over the full machinery:
+//
+//	net := lowmemroute.NewNetwork(4)
+//	net.MustAddLink(0, 1, 1.0)
+//	net.MustAddLink(1, 2, 2.0)
+//	net.MustAddLink(2, 3, 1.0)
+//	net.MustAddLink(3, 0, 5.0)
+//	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: 2})
+//	path, err := scheme.Route(0, 2)
+//
+// Build runs the complete distributed construction on a simulated CONGEST
+// network (one processor per node, synchronous rounds, O(1)-word messages
+// per edge per round) and reports the construction cost - rounds, messages,
+// and per-node peak memory - alongside the scheme. Exact tree routing on a
+// spanning tree (or any tree embedded in the network) is available through
+// BuildTree.
+//
+// The deeper layers live under internal/: the CONGEST simulator
+// (internal/congest), graph algorithms and generators (internal/graph),
+// hopsets with path recovery (internal/hopset), tree routing
+// (internal/treeroute), the paper's general-graph scheme (internal/core),
+// the centralized Thorup-Zwick reference (internal/tz), prior-work
+// baselines (internal/baseline), and the evaluation harness
+// (internal/metrics) that regenerates the paper's Tables 1 and 2 via
+// cmd/routebench and cmd/treebench.
+package lowmemroute

@@ -1,0 +1,48 @@
+package lowmemroute_test
+
+import (
+	"fmt"
+
+	"lowmemroute"
+)
+
+// Build a routing scheme on a small ring network and route a message.
+func ExampleBuild() {
+	net := lowmemroute.NewNetwork(6)
+	for i := 0; i < 6; i++ {
+		net.MustAddLink(i, (i+1)%6, 1.0)
+	}
+
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: 2, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	path, err := scheme.Route(0, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("hops:", path.Hops(), "weight:", path.Weight)
+	// Output: hops: 3 weight: 3
+}
+
+// Exact tree routing on a path embedded in the network.
+func ExampleBuildTree() {
+	net := lowmemroute.NewNetwork(5)
+	for i := 0; i < 4; i++ {
+		net.MustAddLink(i, i+1, 1.0)
+	}
+	tree, err := net.TreeFromParents(0, []int{-1, 0, 1, 2, 3})
+	if err != nil {
+		panic(err)
+	}
+	scheme, err := lowmemroute.BuildTree(net, tree, lowmemroute.TreeConfig{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
+	path, err := scheme.Route(4, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("path:", path.Nodes)
+	// Output: path: [4 3 2 1]
+}

@@ -1,0 +1,39 @@
+// Quickstart: build a compact routing scheme on a small hand-made network
+// and route a message.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lowmemroute"
+)
+
+func main() {
+	// A ring of 6 routers with one expensive shortcut.
+	net := lowmemroute.NewNetwork(6)
+	for i := 0; i < 6; i++ {
+		net.MustAddLink(i, (i+1)%6, 1.0)
+	}
+	net.MustAddLink(0, 3, 2.5) // shortcut across the ring
+
+	// Build the routing scheme: K controls the size/stretch trade-off.
+	// K=2 gives tables of Õ(√n) words and stretch at most 5.
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: 2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := scheme.Report()
+	fmt.Printf("built in %d simulated CONGEST rounds, peak memory %d words/node\n",
+		rep.Rounds, rep.PeakMemory)
+
+	// Route from node 1 to node 4: the scheme decides per hop, using only
+	// the current node's table and the destination's label.
+	path, err := scheme.Route(1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("route 1 -> 4: %v (weight %.1f, exact %.1f)\n",
+		path.Nodes, path.Weight, net.ShortestPath(1, 4))
+}

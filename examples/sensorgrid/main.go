@@ -1,0 +1,55 @@
+// Sensorgrid: routing on a random-geometric radio network of
+// memory-constrained devices. The construction itself must respect the
+// devices' memory - the paper's headline property - so the example reports
+// the per-node memory high-water mark of the preprocessing phase, not just
+// the final table sizes, and then routes across the deployment.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lowmemroute"
+)
+
+func main() {
+	const n = 400
+	net, err := lowmemroute.Generate(lowmemroute.Geometric, n, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor deployment: %d devices, %d radio links\n", net.Nodes(), net.Links())
+
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: 3, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := scheme.Report()
+	fmt.Printf("\npreprocessing on the devices themselves (simulated CONGEST):\n")
+	fmt.Printf("  rounds                  %d\n", rep.Rounds)
+	fmt.Printf("  network hop-diameter    %d\n", rep.HopDiameter)
+	fmt.Printf("  peak memory per device  %d words (avg %.0f)\n", rep.PeakMemory, rep.AvgMemory)
+	fmt.Printf("  final table per device  <= %d words\n", rep.MaxTableWords)
+	fmt.Printf("  final label per device  <= %d words\n", rep.MaxLabelWords)
+	fmt.Printf("  (preprocessing stays within a polylog factor of the final routing state -\n")
+	fmt.Printf("   prior schemes needed Ω(√n)-scale working memory on top; run\n")
+	fmt.Printf("   `go run ./cmd/routebench -sweep k` for the head-to-head comparison)\n")
+
+	// Route between far-apart devices.
+	r := rand.New(rand.NewSource(5))
+	fmt.Printf("\nsample routes:\n")
+	for i := 0; i < 5; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		p, err := scheme.Route(u, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact := net.ShortestPath(u, v)
+		stretch := 1.0
+		if exact > 0 {
+			stretch = p.Weight / exact
+		}
+		fmt.Printf("  %3d -> %3d: %2d hops, stretch %.2f\n", u, v, p.Hops(), stretch)
+	}
+}

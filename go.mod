@@ -1,0 +1,3 @@
+module lowmemroute
+
+go 1.22

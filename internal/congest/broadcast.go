@@ -1,0 +1,87 @@
+package congest
+
+import "sort"
+
+// BroadcastMsg is a message disseminated to every vertex via the BFS tree of
+// the communication graph (Lemma 1 in the paper).
+type BroadcastMsg struct {
+	Origin  int
+	Payload any
+	Words   int
+}
+
+// Broadcast delivers every message to every vertex, invoking handle once per
+// (vertex, message) pair in deterministic order (vertices ascending; for
+// each vertex, messages in origin order as given). The handler must treat
+// each message streaming - anything it wants to keep it must charge to the
+// vertex's meter itself; the engine only spikes the meter by the size of a
+// single in-flight message, which is exactly the guarantee the pipelined
+// broadcast of Lemma 1 provides.
+//
+// Cost charged (Lemma 1): rounds = M + 2D for M messages; every message
+// traverses every BFS-tree edge, so messages += M*(n-1).
+func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m BroadcastMsg)) {
+	if len(msgs) == 0 {
+		return
+	}
+	n := s.g.N()
+	s.rounds += int64(len(msgs)) + 2*int64(s.d)
+	var totalWords int64
+	for _, m := range msgs {
+		w := m.Words
+		if w < 1 {
+			w = 1
+		}
+		totalWords += int64(w)
+	}
+	s.messages += int64(len(msgs)) * int64(n-1)
+	s.words += totalWords * int64(n-1)
+	if handle == nil {
+		return
+	}
+	for v := 0; v < n; v++ {
+		for _, m := range msgs {
+			w := int64(m.Words)
+			if w < 1 {
+				w = 1
+			}
+			s.meters[v].Spike(w)
+			handle(v, m)
+		}
+	}
+}
+
+// Convergecast aggregates M messages (one per origin) up the BFS tree to a
+// sink that then learns all of them; it has the same O(M + D) pipelined cost
+// as Broadcast. handle is invoked at the sink for every message, in origin
+// order.
+func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m BroadcastMsg)) {
+	if len(msgs) == 0 {
+		return
+	}
+	sorted := append([]BroadcastMsg(nil), msgs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Origin < sorted[j].Origin })
+	s.rounds += int64(len(sorted)) + 2*int64(s.d)
+	var totalWords int64
+	for _, m := range sorted {
+		w := m.Words
+		if w < 1 {
+			w = 1
+		}
+		totalWords += int64(w)
+	}
+	// Each message travels at most D hops to the sink.
+	s.messages += int64(len(sorted)) * int64(s.d)
+	s.words += totalWords * int64(s.d)
+	if handle == nil {
+		return
+	}
+	for _, m := range sorted {
+		w := int64(m.Words)
+		if w < 1 {
+			w = 1
+		}
+		s.meters[sink].Spike(w)
+		handle(m)
+	}
+}

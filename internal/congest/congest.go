@@ -1,0 +1,419 @@
+// Package congest implements a deterministic round-based simulator for the
+// CONGEST RAM model of Elkin-Neiman (PODC 2018): one processor per vertex of
+// a weighted graph, synchronous rounds, per-edge bandwidth of O(1) words per
+// round (a word holds a vertex id, an edge weight, or a distance), and
+// per-vertex memory meters that record the peak number of words each
+// processor ever holds.
+//
+// Algorithms are written as step functions executed once per active vertex
+// per round; within a round all vertices observe the same pre-round state
+// (message delivery is barrier-synchronised), and rounds are executed by a
+// goroutine worker pool. Bandwidth is enforced: traffic exceeding an edge's
+// per-round word budget is queued, the queue delays delivery and its words
+// are charged to the sender's memory meter - this is exactly the congestion
+// that the paper's random start-time scheduling is designed to avoid.
+//
+// Receiving is link-buffered and free (a vertex may receive one message per
+// incident edge per round and process them streaming, as the model allows);
+// memory is charged for state an algorithm retains across rounds, which the
+// algorithm does explicitly through its Meter.
+//
+// The package also provides the Lemma 1 broadcast primitive (pipelined
+// BFS-tree broadcast of M messages in O(M + D) rounds), whose cost is
+// charged analytically - simulating each broadcast hop explicitly would
+// multiply simulation cost by n without changing any algorithmic behaviour.
+package congest
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lowmemroute/internal/graph"
+)
+
+// DefaultEdgeCapacity is the per-round word budget of a directed edge: a
+// CONGEST RAM message carries O(1) words; we fix the constant at 4 (enough
+// for an id, a distance, a hop budget and a tag), matching the "O(1) edge
+// weights and identities" regime of the model.
+const DefaultEdgeCapacity = 4
+
+// Message is a point-to-point message delivered along a graph edge.
+type Message struct {
+	From    int
+	Payload any
+	Words   int
+
+	seq int // per-sender sequence, for deterministic ordering
+}
+
+// StepFunc is one vertex's program for one round. It may read the inbox via
+// ctx.In(), send messages to neighbors via ctx.Send, keep itself scheduled
+// via ctx.Wake, and charge its memory meter via ctx.Mem().
+type StepFunc func(v int, ctx *Ctx)
+
+// Simulator executes CONGEST rounds over a fixed communication graph.
+type Simulator struct {
+	g        *graph.Graph
+	d        int // hop-diameter bound used for broadcast cost accounting
+	capacity int // words per directed edge per round
+
+	rounds   int64
+	messages int64
+	words    int64
+
+	inbox  [][]Message
+	queues map[edgeKey]*edgeQueue
+	meters []Meter
+
+	workers int
+	rng     *rand.Rand
+}
+
+type edgeKey struct{ from, to int }
+
+// edgeQueue models the pacing of a bandwidth-limited edge. Backlog delays
+// delivery (rounds) but does not charge the sender's memory: a real CONGEST
+// processor regenerates outgoing messages from its stored state (already
+// charged) rather than holding per-edge copies.
+type edgeQueue struct {
+	msgs []Message
+	// sent is the number of words of msgs[0] already transmitted in
+	// previous rounds (large messages take several rounds to cross).
+	sent int
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithWorkers sets the number of goroutines executing each round.
+func WithWorkers(w int) Option {
+	return func(s *Simulator) {
+		if w > 0 {
+			s.workers = w
+		}
+	}
+}
+
+// WithSeed sets the seed of the simulator's deterministic RNG.
+func WithSeed(seed int64) Option {
+	return func(s *Simulator) { s.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDiameter overrides the hop-diameter bound used when charging
+// broadcast rounds (defaults to a 2x eccentricity upper bound from vertex 0).
+func WithDiameter(d int) Option {
+	return func(s *Simulator) {
+		if d >= 0 {
+			s.d = d
+		}
+	}
+}
+
+// WithEdgeCapacity sets the per-round word budget of each directed edge.
+// Zero or negative means unlimited (a convenient "LOCAL model" switch for
+// tests and ablations).
+func WithEdgeCapacity(c int) Option {
+	return func(s *Simulator) { s.capacity = c }
+}
+
+// New creates a simulator over communication graph g.
+func New(g *graph.Graph, opts ...Option) *Simulator {
+	s := &Simulator{
+		g:        g,
+		d:        1,
+		capacity: DefaultEdgeCapacity,
+		inbox:    make([][]Message, g.N()),
+		queues:   make(map[edgeKey]*edgeQueue),
+		meters:   make([]Meter, g.N()),
+		workers:  runtime.GOMAXPROCS(0),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	if g.N() > 0 {
+		if ub, err := g.HopRadiusUpperBound(); err == nil {
+			s.d = ub
+		}
+	}
+	if s.d < 1 {
+		s.d = 1
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Graph returns the communication graph.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// N returns the number of processors.
+func (s *Simulator) N() int { return s.g.N() }
+
+// Diameter returns the hop-diameter bound used for broadcast accounting.
+func (s *Simulator) Diameter() int { return s.d }
+
+// Rounds returns the total number of rounds charged so far.
+func (s *Simulator) Rounds() int64 { return s.rounds }
+
+// Messages returns the total number of messages delivered so far.
+func (s *Simulator) Messages() int64 { return s.messages }
+
+// Words returns the total number of words carried by delivered messages.
+func (s *Simulator) Words() int64 { return s.words }
+
+// Mem returns vertex v's memory meter.
+func (s *Simulator) Mem(v int) *Meter { return &s.meters[v] }
+
+// PeakMemory returns the maximum peak memory (in words) over all vertices.
+func (s *Simulator) PeakMemory() int64 {
+	var mx int64
+	for i := range s.meters {
+		if p := s.meters[i].Peak(); p > mx {
+			mx = p
+		}
+	}
+	return mx
+}
+
+// AvgPeakMemory returns the mean per-vertex peak memory in words.
+func (s *Simulator) AvgPeakMemory() float64 {
+	if len(s.meters) == 0 {
+		return 0
+	}
+	var t int64
+	for i := range s.meters {
+		t += s.meters[i].Peak()
+	}
+	return float64(t) / float64(len(s.meters))
+}
+
+// Rand returns the simulator's deterministic RNG. Single-threaded phases
+// only; per-vertex code should use DeriveRand.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// DeriveRand returns a fresh RNG for vertex v, seeded deterministically and
+// independently of the simulator RNG stream position.
+func (s *Simulator) DeriveRand(v int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(v)*0x9E3779B9 + 0x1234567))
+}
+
+// AddRounds charges extra rounds for phases accounted analytically.
+func (s *Simulator) AddRounds(k int64) {
+	if k > 0 {
+		s.rounds += k
+	}
+}
+
+// Ctx is the per-vertex, per-round execution context handed to StepFuncs.
+type Ctx struct {
+	sim    *Simulator
+	v      int
+	round  int
+	in     []Message
+	out    []Message
+	outDst []int
+	wake   bool
+	seq    int
+}
+
+// Round returns the index of the current round within the active Run.
+func (c *Ctx) Round() int { return c.round }
+
+// In returns the messages delivered to this vertex at the start of the
+// round. The slice is owned by the engine; process it streaming.
+func (c *Ctx) In() []Message { return c.in }
+
+// Mem returns this vertex's memory meter.
+func (c *Ctx) Mem() *Meter { return c.sim.Mem(c.v) }
+
+// Send queues a message of the given word count to neighbor `to`. Delivery
+// happens when the edge's bandwidth allows; queued words are charged to this
+// vertex's memory meter until transmitted. Sending to a non-neighbor panics:
+// it is a programming error that would break the model.
+func (c *Ctx) Send(to int, payload any, words int) {
+	if !c.sim.g.HasEdge(c.v, to) {
+		panic(fmt.Sprintf("congest: vertex %d sent to non-neighbor %d", c.v, to))
+	}
+	if words < 1 {
+		words = 1
+	}
+	c.out = append(c.out, Message{From: c.v, Payload: payload, Words: words, seq: c.seq})
+	c.seq++
+	c.outDst = append(c.outDst, to)
+}
+
+// Wake keeps this vertex scheduled next round even if it receives nothing.
+func (c *Ctx) Wake() { c.wake = true }
+
+// Run executes synchronous rounds. Vertices listed in initial are active in
+// round 0; afterwards a vertex is active iff it received a message or called
+// Wake. Run stops when no vertex is active and all edge queues are drained,
+// or after maxRounds rounds; it returns the number of rounds executed (also
+// added to the simulator's round counter).
+func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
+	n := s.g.N()
+	active := make([]bool, n)
+	var actList []int
+	for _, v := range initial {
+		if !active[v] {
+			active[v] = true
+			actList = append(actList, v)
+		}
+	}
+	sort.Ints(actList)
+
+	executed := 0
+	for round := 0; round < maxRounds && (len(actList) > 0 || len(s.queues) > 0); round++ {
+		ctxs := s.runRound(actList, round, step)
+		executed++
+
+		// Enqueue this round's sends on their directed edges.
+		for _, v := range actList {
+			s.inbox[v] = nil
+		}
+		wakeSet := make(map[int]bool)
+		for _, c := range ctxs {
+			if c.wake {
+				wakeSet[c.v] = true
+			}
+			for i, m := range c.out {
+				key := edgeKey{from: c.v, to: c.outDst[i]}
+				q := s.queues[key]
+				if q == nil {
+					q = &edgeQueue{}
+					s.queues[key] = q
+				}
+				q.msgs = append(q.msgs, m)
+			}
+		}
+
+		// Deliver within bandwidth, in deterministic edge order.
+		keys := make([]edgeKey, 0, len(s.queues))
+		for k := range s.queues {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].from != keys[j].from {
+				return keys[i].from < keys[j].from
+			}
+			return keys[i].to < keys[j].to
+		})
+		received := make(map[int]bool)
+		for _, k := range keys {
+			q := s.queues[k]
+			budget := s.capacity
+			unlimited := s.capacity <= 0
+			for len(q.msgs) > 0 {
+				head := q.msgs[0]
+				remaining := head.Words - q.sent
+				if !unlimited {
+					if budget <= 0 {
+						break
+					}
+					if remaining > budget {
+						q.sent += budget
+						budget = 0
+						break
+					}
+					budget -= remaining
+				}
+				q.msgs = q.msgs[1:]
+				q.sent = 0
+				s.inbox[k.to] = append(s.inbox[k.to], head)
+				s.messages++
+				s.words += int64(head.Words)
+				received[k.to] = true
+			}
+			if len(q.msgs) == 0 {
+				delete(s.queues, k)
+			}
+		}
+
+		// Build next round's active list.
+		var nextList []int
+		for v := range wakeSet {
+			nextList = append(nextList, v)
+		}
+		for v := range received {
+			if !wakeSet[v] {
+				nextList = append(nextList, v)
+			}
+		}
+		for _, v := range nextList {
+			in := s.inbox[v]
+			sort.Slice(in, func(i, j int) bool {
+				if in[i].From != in[j].From {
+					return in[i].From < in[j].From
+				}
+				return in[i].seq < in[j].seq
+			})
+		}
+		sort.Ints(nextList)
+		nextActive := make([]bool, n)
+		for _, v := range nextList {
+			nextActive[v] = true
+		}
+		active = nextActive
+		actList = nextList
+	}
+	_ = active
+	s.rounds += int64(executed)
+	// Drop undelivered state if we hit maxRounds.
+	for _, v := range actList {
+		s.inbox[v] = nil
+	}
+	for k := range s.queues {
+		delete(s.queues, k)
+	}
+	return executed
+}
+
+// runRound executes step for every active vertex using the worker pool and
+// returns the per-vertex contexts (in actList order).
+func (s *Simulator) runRound(actList []int, round int, step StepFunc) []*Ctx {
+	ctxs := make([]*Ctx, len(actList))
+	run := func(i int) {
+		v := actList[i]
+		c := &Ctx{sim: s, v: v, round: round, in: s.inbox[v]}
+		// Link buffers are free; charge only the single largest in-flight
+		// message as transient working space.
+		var mxWords int64
+		for _, m := range c.in {
+			if int64(m.Words) > mxWords {
+				mxWords = int64(m.Words)
+			}
+		}
+		s.meters[v].Spike(mxWords)
+		step(v, c)
+		ctxs[i] = c
+	}
+	if s.workers <= 1 || len(actList) < 64 {
+		for i := range actList {
+			run(i)
+		}
+		return ctxs
+	}
+	var wg sync.WaitGroup
+	chunk := (len(actList) + s.workers - 1) / s.workers
+	for w := 0; w < s.workers; w++ {
+		lo := w * chunk
+		if lo >= len(actList) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(actList) {
+			hi = len(actList)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				run(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctxs
+}

@@ -1,0 +1,56 @@
+package congest
+
+// Meter tracks the memory footprint of one simulated processor in words
+// (a word stores a vertex id, an edge weight, or a distance - the CONGEST
+// RAM unit). Algorithms charge persistent storage with Charge/Release and
+// the engine records transient inbox load with Spike. Peak returns the
+// high-water mark, the quantity reported in the paper's "memory per vertex"
+// columns.
+//
+// The zero value is a meter with no usage.
+type Meter struct {
+	current int64
+	peak    int64
+}
+
+// Charge adds words of persistent storage.
+func (m *Meter) Charge(words int64) {
+	if words <= 0 {
+		return
+	}
+	m.current += words
+	if m.current > m.peak {
+		m.peak = m.current
+	}
+}
+
+// Release frees words of persistent storage (clamped at zero).
+func (m *Meter) Release(words int64) {
+	if words <= 0 {
+		return
+	}
+	m.current -= words
+	if m.current < 0 {
+		m.current = 0
+	}
+}
+
+// Spike records a transient load of words on top of current usage without
+// changing current usage (e.g. a round's inbox, processed streaming).
+func (m *Meter) Spike(words int64) {
+	if words <= 0 {
+		return
+	}
+	if m.current+words > m.peak {
+		m.peak = m.current + words
+	}
+}
+
+// Current returns the currently charged persistent words.
+func (m *Meter) Current() int64 { return m.current }
+
+// Peak returns the high-water mark in words.
+func (m *Meter) Peak() int64 { return m.peak }
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { m.current, m.peak = 0, 0 }

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lowmemroute/internal/clusterroute"
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/hopset"
+	"lowmemroute/internal/treeroute"
+)
+
+const debugClusters = false
+
+// centry is one root's record at a host vertex during the approximate
+// cluster growth.
+type centry struct {
+	dist   float64
+	parent int
+	// via holds the hopset edge (x, w) that produced this estimate, or
+	// nil when it came over the host graph.
+	via *[2]int
+	// force marks unconditional membership via path recovery (Claim 9's
+	// "vertices of P(e) join the tree").
+	force bool
+}
+
+// approxClusters grows the approximate clusters C̃(v) of every high-level
+// center by multi-root limited Bellman-Ford in G' ∪ H (the paper's
+// Approximate Clusters paragraph): per-iteration B-bounded explorations in
+// G cover the implicit E', a broadcast pass covers H (out-edges are shared
+// across all clusters, as the paper notes), limits follow the
+// (1+ε)/(1+ε)^2 rules, used hopset edges trigger path-recovery joins, and a
+// final limited exploration completes the clusters in G.
+func (b *builder) approxClusters() error {
+	for i := b.kHalf; i < b.k; i++ {
+		var roots []int
+		for _, v := range b.levels[i] {
+			if b.topOf[v] == i {
+				roots = append(roots, v)
+			}
+		}
+		if len(roots) == 0 {
+			continue
+		}
+		if err := b.growApproxClusters(i, roots); err != nil {
+			return fmt.Errorf("core: level %d approximate clusters: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (b *builder) growApproxClusters(level int, roots []int) error {
+	bound := b.pivotD[level+1]
+	eps := b.o.Epsilon
+	hostCap := func(v int) float64 { return bound[v] / (1 + eps) }
+	virtCap := func(v int) float64 { return bound[v] / ((1 + eps) * (1 + eps)) }
+	forwardLimit := func(v, root int, d float64) bool {
+		if b.vg.IsMember(v) {
+			return d < virtCap(v)
+		}
+		return d < hostCap(v)
+	}
+
+	est := make([]map[int]*centry, b.n)
+	newEntry := func(v, root int, e centry) {
+		if est[v] == nil {
+			est[v] = make(map[int]*centry)
+		}
+		ec := e
+		est[v][root] = &ec
+		b.sim.Mem(v).Charge(3)
+	}
+	type vr struct{ v, r int }
+	dirty := make(map[vr]bool)
+	for _, r := range roots {
+		newEntry(r, r, centry{dist: 0, parent: graph.NoVertex, force: true})
+		dirty[vr{r, r}] = true
+	}
+
+	maxIter := b.o.Beta
+	if maxIter <= 0 {
+		maxIter = 4 * (b.vg.M() + 1)
+	}
+	iters := 0
+	for iter := 0; iter < maxIter && len(dirty) > 0; iter++ {
+		iters = iter + 1
+		// E' step: re-propagate every estimate that changed since the last
+		// exploration (monotone BF: older influence already propagated).
+		var srcs []hopset.Source
+		keys := make([]vr, 0, len(dirty))
+		for k := range dirty {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].v != keys[j].v {
+				return keys[i].v < keys[j].v
+			}
+			return keys[i].r < keys[j].r
+		})
+		for _, k := range keys {
+			e := est[k.v][k.r]
+			if forwardLimit(k.v, k.r, e.dist) || k.v == k.r {
+				srcs = append(srcs, hopset.Source{Root: k.r, At: k.v, Dist: e.dist})
+			}
+		}
+		dirty = make(map[vr]bool)
+		if len(srcs) > 0 {
+			ex, err := hopset.Explore(b.sim, srcs, hopset.ExploreOptions{
+				Hops:  b.vg.B(),
+				Limit: forwardLimit,
+			})
+			if err != nil {
+				return err
+			}
+			for v := 0; v < b.n; v++ {
+				for r, en := range ex.Entries[v] {
+					cur, ok := est[v][r]
+					if ok && en.Dist >= cur.dist {
+						continue
+					}
+					if en.Parent == graph.NoVertex {
+						continue // the seed's own echo
+					}
+					if ok {
+						cur.dist = en.Dist
+						cur.parent = en.Parent
+						cur.via = nil
+					} else {
+						newEntry(v, r, centry{dist: en.Dist, parent: en.Parent})
+					}
+					dirty[vr{v, r}] = true
+				}
+			}
+		}
+
+		// H step: one broadcast; each virtual vertex ships its limited
+		// estimates for all clusters plus its (cluster-independent)
+		// out-edges.
+		type hMsg struct {
+			u    int
+			ests map[int]float64
+			out  []hopset.Edge
+		}
+		var msgs []congest.BroadcastMsg
+		for _, u := range b.vg.Members() {
+			ests := make(map[int]float64)
+			for r, e := range est[u] {
+				if e.dist < virtCap(u) || u == r {
+					ests[r] = e.dist
+				}
+			}
+			if len(ests) == 0 {
+				continue
+			}
+			msgs = append(msgs, congest.BroadcastMsg{
+				Origin:  u,
+				Payload: hMsg{u: u, ests: ests, out: b.hs.Out(u)},
+				Words:   1 + 2*len(ests) + 3*len(b.hs.Out(u)),
+			})
+		}
+		b.sim.Broadcast(msgs, func(w int, m congest.BroadcastMsg) {
+			p := m.Payload.(hMsg)
+			if !b.vg.IsMember(w) || w == p.u {
+				return
+			}
+			relax := func(weight float64) {
+				for r, d := range p.ests {
+					alt := d + weight
+					cur, ok := est[w][r]
+					if ok && alt >= cur.dist {
+						continue
+					}
+					via := [2]int{p.u, w}
+					if ok {
+						cur.dist = alt
+						cur.via = &via
+						cur.parent = graph.NoVertex
+					} else {
+						newEntry(w, r, centry{dist: alt, parent: graph.NoVertex, via: &via})
+					}
+					dirty[vr{w, r}] = true
+				}
+			}
+			for _, e := range p.out {
+				if e.To == w {
+					relax(e.Weight)
+				}
+			}
+			for _, e := range b.hs.Out(w) {
+				if e.To == p.u {
+					relax(e.Weight)
+				}
+			}
+		})
+	}
+	if iters > b.maxBeta {
+		b.maxBeta = iters
+	}
+
+	// Path recovery: every estimate realised through a hopset edge joins
+	// all vertices of the edge's underlying host path to the cluster
+	// (Claim 9) and fixes the endpoint's host parent.
+	maxPath := 0
+	var recovered int64
+	for w := 0; w < b.n; w++ {
+		rs := make([]int, 0, len(est[w]))
+		for r := range est[w] {
+			rs = append(rs, r)
+		}
+		sort.Ints(rs)
+		for _, r := range rs {
+			e := est[w][r]
+			if e.via == nil {
+				continue
+			}
+			x := e.via[0]
+			path, ok := b.hs.Path(x, w)
+			if !ok {
+				if path, ok = b.hs.Path(w, x); ok {
+					// Reverse so the walk goes x -> w.
+					rev := make([]int, len(path))
+					for i, p := range path {
+						rev[len(path)-1-i] = p
+					}
+					path = rev
+				}
+			}
+			if !ok || len(path) < 2 {
+				return fmt.Errorf("core: missing recovery path for hopset edge (%d,%d)", x, w)
+			}
+			if len(path) > maxPath {
+				maxPath = len(path)
+			}
+			recovered += int64(len(path))
+			// Cumulative distances along the path from x.
+			dx := est[x][r].dist
+			acc := dx
+			for idx := 1; idx < len(path); idx++ {
+				u, prev := path[idx], path[idx-1]
+				wgt, okw := b.g.EdgeWeight(prev, u)
+				if !okw {
+					return fmt.Errorf("core: recovery path hop {%d,%d} not an edge", prev, u)
+				}
+				acc += wgt
+				cur, okc := est[u][r]
+				switch {
+				case !okc:
+					newEntry(u, r, centry{dist: acc, parent: prev, force: true})
+				case (u == w && cur.parent == graph.NoVertex) || acc < cur.dist:
+					// Anchor to the recovery path: either this improves the
+					// estimate, or this is the walk of u's own hopset edge
+					// (u is its head) and the entry has no host parent yet.
+					// In the latter case acc can exceed cur.dist by
+					// floating-point noise (the edge weight was accumulated
+					// in the opposite path orientation); adopting acc keeps
+					// the parent chain's distances consistent and strictly
+					// decreasing.
+					cur.dist = acc
+					cur.parent = prev
+					cur.via = nil
+					cur.force = true
+				default:
+					cur.force = true
+				}
+			}
+		}
+	}
+	// Protocol cost (pipelined notifications along all used paths).
+	b.sim.AddRounds(int64(maxPath) + 2*int64(b.sim.Diameter()))
+	// Final limited B-bounded exploration in G from every member estimate.
+	var srcs []hopset.Source
+	for v := 0; v < b.n; v++ {
+		for r, e := range est[v] {
+			if e.force || e.dist < hostCap(v) {
+				srcs = append(srcs, hopset.Source{Root: r, At: v, Dist: e.dist})
+			}
+		}
+	}
+	hostLimit := func(v, root int, d float64) bool { return d < hostCap(v) }
+	if len(srcs) > 0 {
+		ex, err := hopset.Explore(b.sim, srcs, hopset.ExploreOptions{Hops: b.vg.B(), Limit: hostLimit})
+		if err != nil {
+			return err
+		}
+		for v := 0; v < b.n; v++ {
+			for r, en := range ex.Entries[v] {
+				if en.Parent == graph.NoVertex {
+					continue
+				}
+				cur, ok := est[v][r]
+				if ok && en.Dist >= cur.dist {
+					continue
+				}
+				if ok {
+					cur.dist = en.Dist
+					cur.parent = en.Parent
+					cur.via = nil
+				} else {
+					newEntry(v, r, centry{dist: en.Dist, parent: en.Parent})
+				}
+			}
+		}
+	}
+	_ = recovered
+
+	// Assemble one tree per root: members are the root, forced joiners,
+	// and vertices whose estimate beats the (1+ε)-relaxed bound.
+	for _, r := range roots {
+		parent := make([]int, b.n)
+		dist := make([]float64, b.n)
+		for v := range parent {
+			parent[v] = graph.NoVertex
+			dist[v] = graph.Infinity
+		}
+		for v := 0; v < b.n; v++ {
+			e, ok := est[v][r]
+			if !ok {
+				continue
+			}
+			if v != r && !e.force && e.dist >= hostCap(v) {
+				continue
+			}
+			dist[v] = e.dist
+			if v != r {
+				parent[v] = e.parent
+			}
+		}
+		tree, err := graph.NewTree(r, parent)
+		if err != nil {
+			if debugClusters {
+				for v := 0; v < b.n; v++ {
+					if e, ok := est[v][r]; ok {
+						fmt.Printf("DBG root=%d v=%d dist=%v parent=%d via=%v force=%v hostCap=%v virt=%v member=%v\n",
+							r, v, e.dist, e.parent, e.via, e.force, hostCap(v), b.vg.IsMember(v),
+							v == r || e.force || e.dist < hostCap(v))
+					}
+				}
+			}
+			return fmt.Errorf("core: approximate cluster tree of %d: %w", r, err)
+		}
+		b.trees[r] = tree
+		b.dists[r] = dist
+	}
+	return nil
+}
+
+// assemble runs the low-memory tree routing on every cluster tree in
+// parallel and produces the final tables and labels.
+func (b *builder) assemble() (*Scheme, error) {
+	centers := make([]int, 0, len(b.trees))
+	for c := range b.trees {
+		centers = append(centers, c)
+	}
+	sort.Ints(centers)
+	trees := make([]*graph.Tree, 0, len(centers))
+	perVertex := make([]int, b.n)
+	portals := 0
+	for _, c := range centers {
+		t := b.trees[c]
+		trees = append(trees, t)
+		for _, v := range t.Members() {
+			perVertex[v]++
+		}
+	}
+	s := 1
+	for _, c := range perVertex {
+		if c > s {
+			s = c
+		}
+	}
+	q := b.o.TreeQ
+	if q <= 0 {
+		q = 1 / math.Sqrt(float64(s)*float64(b.n))
+	}
+	maxOffset := int(math.Sqrt(float64(s)*float64(b.n))*math.Log2(float64(b.n)+1)) + 1
+	before := b.sim.Rounds()
+	res, err := treeroute.BuildDistributed(b.sim, trees, treeroute.DistOptions{
+		Q:         q,
+		Seed:      b.o.Seed + 2,
+		MaxOffset: maxOffset,
+	})
+	b.phaseRounds["tree-routing"] += b.sim.Rounds() - before
+	if err != nil {
+		return nil, fmt.Errorf("core: tree routing: %w", err)
+	}
+	for _, p := range res.Portals {
+		portals += p
+	}
+
+	scheme := &Scheme{Scheme: clusterroute.New(b.k, b.n)}
+	treeSchemes := make(map[int]*treeroute.Scheme, len(centers))
+	for j, c := range centers {
+		ts := res.Schemes[j]
+		treeSchemes[c] = ts
+		scheme.AddTree(c, b.trees[c], b.g, ts)
+	}
+	for v := 0; v < b.n; v++ {
+		for j := 0; j < b.k; j++ {
+			root := b.pivotRoot[j][v]
+			if root == graph.NoVertex {
+				continue
+			}
+			scheme.AddLabelEntry(v, j, root, treeSchemes[root])
+		}
+		b.sim.Mem(v).Charge(int64(2 * b.k)) // pivot ids in the label
+	}
+
+	scheme.Stats = Stats{
+		K:              b.k,
+		N:              b.n,
+		B:              b.vg.B(),
+		VirtualSize:    b.vg.M(),
+		HopsetEdges:    b.hs.Size(),
+		HopsetArbor:    b.hs.MaxOutDegree(),
+		BetaRealised:   b.maxBeta,
+		Clusters:       len(centers),
+		MaxTreesPerVtx: s,
+		TreePortals:    portals,
+		PhaseRounds:    b.phaseRounds,
+	}
+	return scheme, nil
+}

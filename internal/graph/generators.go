@@ -1,0 +1,347 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// WeightFunc produces an edge weight; generators call it once per edge.
+type WeightFunc func(r *rand.Rand) float64
+
+// UnitWeights assigns weight 1 to every edge.
+func UnitWeights(*rand.Rand) float64 { return 1 }
+
+// UniformWeights returns a WeightFunc drawing uniformly from [lo, hi).
+func UniformWeights(lo, hi float64) WeightFunc {
+	return func(r *rand.Rand) float64 { return lo + r.Float64()*(hi-lo) }
+}
+
+// IntegerWeights returns a WeightFunc drawing uniformly from {1, ..., max}.
+func IntegerWeights(max int) WeightFunc {
+	return func(r *rand.Rand) float64 { return float64(1 + r.Intn(max)) }
+}
+
+// ErdosRenyi generates G(n, p) with the given weight function, then adds a
+// random Hamiltonian-path backbone so the result is always connected (the
+// standard trick for benchmarking on connected instances).
+func ErdosRenyi(n int, p float64, w WeightFunc, r *rand.Rand) *Graph {
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(perm[i-1], perm[i], w(r))
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, w(r))
+			}
+		}
+	}
+	return g
+}
+
+// RandomGeometric places n points uniformly in the unit square and connects
+// pairs within distance radius, weighting each edge by its Euclidean length
+// (scaled by 1000 and floored at 1 to keep weights positive). A backbone
+// path over the points sorted by x-coordinate keeps the graph connected.
+func RandomGeometric(n int, radius float64, r *rand.Rand) *Graph {
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range pts {
+		pts[i] = pt{r.Float64(), r.Float64()}
+	}
+	g := New(n)
+	dist := func(a, b pt) float64 {
+		dx, dy := a.x-b.x, a.y-b.y
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	weight := func(d float64) float64 { return math.Max(1, d*1000) }
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if d := dist(pts[u], pts[v]); d <= radius {
+				g.MustAddEdge(u, v, weight(d))
+			}
+		}
+	}
+	// Connect by stitching components along the x-sorted order.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && pts[order[j]].x < pts[order[j-1]].x; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	comp := g.components()
+	for i := 1; i < n; i++ {
+		u, v := order[i-1], order[i]
+		if comp[u] != comp[v] {
+			g.MustAddEdge(u, v, weight(dist(pts[u], pts[v])))
+			old, nw := comp[u], comp[v]
+			for x := range comp {
+				if comp[x] == old {
+					comp[x] = nw
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) components() []int {
+	comp := make([]int, g.N())
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for s := 0; s < g.N(); s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		stack := []int{s}
+		comp[s] = c
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range g.adj[u] {
+				if comp[nb.To] == -1 {
+					comp[nb.To] = c
+					stack = append(stack, nb.To)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+// Grid generates a rows×cols grid with the given weights. Hop diameter is
+// rows+cols-2, which makes it a good "large D" stress case.
+func Grid(rows, cols int, w WeightFunc, r *rand.Rand) *Graph {
+	g := New(rows * cols)
+	id := func(i, j int) int { return i*cols + j }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				g.MustAddEdge(id(i, j), id(i, j+1), w(r))
+			}
+			if i+1 < rows {
+				g.MustAddEdge(id(i, j), id(i+1, j), w(r))
+			}
+		}
+	}
+	return g
+}
+
+// Torus is Grid with wraparound edges, halving the diameter.
+func Torus(rows, cols int, w WeightFunc, r *rand.Rand) *Graph {
+	g := Grid(rows, cols, w, r)
+	id := func(i, j int) int { return i*cols + j }
+	if cols > 2 {
+		for i := 0; i < rows; i++ {
+			g.MustAddEdge(id(i, 0), id(i, cols-1), w(r))
+		}
+	}
+	if rows > 2 {
+		for j := 0; j < cols; j++ {
+			g.MustAddEdge(id(0, j), id(rows-1, j), w(r))
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new vertex
+// attaches to m existing vertices chosen proportionally to degree. Produces
+// power-law degree distributions typical of P2P/social overlays.
+func BarabasiAlbert(n, m int, w WeightFunc, r *rand.Rand) *Graph {
+	if m < 1 {
+		m = 1
+	}
+	g := New(n)
+	if n == 0 {
+		return g
+	}
+	// Repeated-endpoint list for proportional sampling.
+	var endpoints []int
+	start := m + 1
+	if start > n {
+		start = n
+	}
+	for u := 1; u < start; u++ {
+		g.MustAddEdge(u, u-1, w(r))
+		endpoints = append(endpoints, u, u-1)
+	}
+	for u := start; u < n; u++ {
+		chosen := make(map[int]bool, m)
+		for len(chosen) < m {
+			v := endpoints[r.Intn(len(endpoints))]
+			if v != u {
+				chosen[v] = true
+			}
+		}
+		for v := range chosen {
+			g.MustAddEdge(u, v, w(r))
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g
+}
+
+// Path generates the n-vertex path 0-1-...-(n-1).
+func Path(n int, w WeightFunc, r *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(i-1, i, w(r))
+	}
+	return g
+}
+
+// Cycle generates the n-vertex cycle.
+func Cycle(n int, w WeightFunc, r *rand.Rand) *Graph {
+	g := Path(n, w, r)
+	if n > 2 {
+		g.MustAddEdge(n-1, 0, w(r))
+	}
+	return g
+}
+
+// Star generates a star with center 0 and n-1 leaves.
+func Star(n int, w WeightFunc, r *rand.Rand) *Graph {
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i, w(r))
+	}
+	return g
+}
+
+// BalancedTree generates a complete b-ary tree on n vertices rooted at 0.
+func BalancedTree(n, b int, w WeightFunc, r *rand.Rand) *Graph {
+	if b < 2 {
+		b = 2
+	}
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(v, (v-1)/b, w(r))
+	}
+	return g
+}
+
+// Caterpillar generates a caterpillar tree: a spine path of length spine with
+// legs leaves attached round-robin. Deep spine + bushy legs exercises both
+// the heavy-path and light-edge machinery of tree routing.
+func Caterpillar(spine, legs int, w WeightFunc, r *rand.Rand) *Graph {
+	g := New(spine + legs)
+	for i := 1; i < spine; i++ {
+		g.MustAddEdge(i-1, i, w(r))
+	}
+	for l := 0; l < legs; l++ {
+		g.MustAddEdge(spine+l, l%spine, w(r))
+	}
+	return g
+}
+
+// RandomTree generates a uniformly random labelled tree on n vertices via a
+// Prüfer sequence.
+func RandomTree(n int, w WeightFunc, r *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	if n == 2 {
+		g.MustAddEdge(0, 1, w(r))
+		return g
+	}
+	prufer := make([]int, n-2)
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for i := range prufer {
+		prufer[i] = r.Intn(n)
+		degree[prufer[i]]++
+	}
+	// Standard decoding with a min-heap over leaves.
+	h := newVertexHeap(n)
+	for v := 0; v < n; v++ {
+		if degree[v] == 1 {
+			h.Push(v, float64(v))
+		}
+	}
+	for _, p := range prufer {
+		leaf, _ := h.Pop()
+		g.MustAddEdge(leaf, p, w(r))
+		degree[p]--
+		if degree[p] == 1 {
+			h.Push(p, float64(p))
+		}
+	}
+	u, _ := h.Pop()
+	v, _ := h.Pop()
+	g.MustAddEdge(u, v, w(r))
+	return g
+}
+
+// Hypercube generates the d-dimensional hypercube (n = 2^d vertices).
+func Hypercube(d int, w WeightFunc, r *rand.Rand) *Graph {
+	n := 1 << d
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for b := 0; b < d; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.MustAddEdge(u, v, w(r))
+			}
+		}
+	}
+	return g
+}
+
+// Family names a graph generator for benchmark sweeps.
+type Family string
+
+// Generator families available to the benchmark harness.
+const (
+	FamilyErdosRenyi Family = "erdos-renyi"
+	FamilyGeometric  Family = "geometric"
+	FamilyGrid       Family = "grid"
+	FamilyTorus      Family = "torus"
+	FamilyPowerLaw   Family = "power-law"
+	FamilyHypercube  Family = "hypercube"
+)
+
+// Generate builds an n-vertex connected instance of the named family with
+// sensible density defaults for routing benchmarks.
+func Generate(f Family, n int, r *rand.Rand) (*Graph, error) {
+	switch f {
+	case FamilyErdosRenyi:
+		p := 4 * math.Log(float64(n+2)) / float64(n+1)
+		return ErdosRenyi(n, p, IntegerWeights(100), r), nil
+	case FamilyGeometric:
+		radius := 1.8 * math.Sqrt(math.Log(float64(n+2))/float64(n+1))
+		return RandomGeometric(n, radius, r), nil
+	case FamilyGrid:
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 1 {
+			side = 1
+		}
+		return Grid(side, (n+side-1)/side, IntegerWeights(10), r), nil
+	case FamilyTorus:
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 1 {
+			side = 1
+		}
+		return Torus(side, (n+side-1)/side, IntegerWeights(10), r), nil
+	case FamilyPowerLaw:
+		return BarabasiAlbert(n, 3, IntegerWeights(100), r), nil
+	case FamilyHypercube:
+		d := 0
+		for 1<<d < n {
+			d++
+		}
+		return Hypercube(d, IntegerWeights(10), r), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown family %q", f)
+	}
+}

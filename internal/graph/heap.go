@@ -1,0 +1,95 @@
+package graph
+
+// vertexHeap is a binary min-heap of (vertex, priority) pairs with
+// decrease-key support, used by Dijkstra. Priorities are float64 distances.
+type vertexHeap struct {
+	items []heapItem
+	pos   []int // pos[v] = index of v in items, or -1
+}
+
+type heapItem struct {
+	v    int
+	prio float64
+}
+
+func newVertexHeap(n int) *vertexHeap {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &vertexHeap{pos: pos}
+}
+
+func (h *vertexHeap) Len() int { return len(h.items) }
+
+// Push inserts v with the given priority; v must not already be present.
+func (h *vertexHeap) Push(v int, prio float64) {
+	h.items = append(h.items, heapItem{v: v, prio: prio})
+	h.pos[v] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+// PushOrDecrease inserts v, or lowers its priority if already present with a
+// higher one. Returns true if the heap changed.
+func (h *vertexHeap) PushOrDecrease(v int, prio float64) bool {
+	i := h.pos[v]
+	if i == -1 {
+		h.Push(v, prio)
+		return true
+	}
+	if prio >= h.items[i].prio {
+		return false
+	}
+	h.items[i].prio = prio
+	h.up(i)
+	return true
+}
+
+// Pop removes and returns the minimum-priority vertex.
+func (h *vertexHeap) Pop() (int, float64) {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[top.v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top.v, top.prio
+}
+
+func (h *vertexHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].v] = i
+	h.pos[h.items[j].v] = j
+}
+
+func (h *vertexHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].prio <= h.items[i].prio {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *vertexHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.items[l].prio < h.items[small].prio {
+			small = l
+		}
+		if r < n && h.items[r].prio < h.items[small].prio {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}

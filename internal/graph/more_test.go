@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: TreeDistHops agrees with the depth/LCA formula.
+func TestTreeDistHopsProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%120) + 2
+		r := rand.New(rand.NewSource(seed))
+		g := RandomTree(n, UnitWeights, r)
+		tr, err := SpanningTree(g, 0, "bfs", r)
+		if err != nil {
+			return false
+		}
+		depth := tr.Depths()
+		lca := func(u, v int) int {
+			for depth[u] > depth[v] {
+				u = tr.Parent(u)
+			}
+			for depth[v] > depth[u] {
+				v = tr.Parent(v)
+			}
+			for u != v {
+				u, v = tr.Parent(u), tr.Parent(v)
+			}
+			return u
+		}
+		for trial := 0; trial < 20; trial++ {
+			u, v := r.Intn(n), r.Intn(n)
+			want := depth[u] + depth[v] - 2*depth[lca(u, v)]
+			if tr.TreeDistHops(u, v) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Dijkstra distances satisfy the triangle inequality through any
+// intermediate vertex, and parents realise dist exactly.
+func TestDijkstraInvariants(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%80) + 5
+		r := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(n, 0.1, IntegerWeights(20), r)
+		res := g.Dijkstra(0)
+		for v := 0; v < n; v++ {
+			if res.Dist[v] == Infinity {
+				continue
+			}
+			if p := res.Parent[v]; p != NoVertex {
+				w, ok := g.EdgeWeight(p, v)
+				if !ok || res.Dist[p]+w != res.Dist[v] {
+					return false
+				}
+			}
+			for _, nb := range g.Neighbors(v) {
+				if res.Dist[nb.To] > res.Dist[v]+nb.Weight {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bounded BF distances are monotone nonincreasing in the hop
+// budget and sandwiched between exact and the 1-hop bound.
+func TestBoundedBFMonotoneProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 5
+		r := rand.New(rand.NewSource(seed))
+		g := ErdosRenyi(n, 0.12, IntegerWeights(9), r)
+		exact := g.Dijkstra(0)
+		prev := g.BoundedBellmanFord(0, 1)
+		for t := 2; t <= 8; t++ {
+			cur := g.BoundedBellmanFord(0, t)
+			for v := 0; v < n; v++ {
+				if cur.Dist[v] > prev.Dist[v] {
+					return false
+				}
+				if cur.Dist[v] != Infinity && cur.Dist[v] < exact.Dist[v] {
+					return false
+				}
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathToReconstructsWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := ErdosRenyi(70, 0.1, IntegerWeights(15), r)
+	res := g.Dijkstra(3)
+	for v := 0; v < g.N(); v++ {
+		path := res.PathTo(v)
+		if path == nil {
+			continue
+		}
+		var w float64
+		for i := 1; i < len(path); i++ {
+			ew, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path hop {%d,%d} missing", path[i-1], path[i])
+			}
+			w += ew
+		}
+		if w != res.Dist[v] {
+			t.Fatalf("v=%d path weight %v != dist %v", v, w, res.Dist[v])
+		}
+	}
+}
+
+func TestHopsFieldCountsEdges(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	g := ErdosRenyi(60, 0.1, IntegerWeights(5), r)
+	res := g.Dijkstra(0)
+	for v := 0; v < g.N(); v++ {
+		path := res.PathTo(v)
+		if path == nil {
+			continue
+		}
+		if res.Hops[v] != len(path)-1 {
+			t.Fatalf("v=%d hops %d path len %d", v, res.Hops[v], len(path))
+		}
+	}
+}

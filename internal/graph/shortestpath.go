@@ -1,0 +1,145 @@
+package graph
+
+// SSSPResult holds single-source shortest path distances and a shortest-path
+// tree encoded as parent pointers (Parent[source] == NoVertex; unreachable
+// vertices have Dist == Infinity and Parent == NoVertex).
+type SSSPResult struct {
+	Source int
+	Dist   []float64
+	Parent []int
+	// Hops[v] is the number of edges on the computed path from Source to v
+	// (0 for the source, -1 if unreachable).
+	Hops []int
+}
+
+// Dijkstra computes exact single-source shortest paths from src.
+func (g *Graph) Dijkstra(src int) *SSSPResult {
+	n := g.N()
+	res := &SSSPResult{
+		Source: src,
+		Dist:   make([]float64, n),
+		Parent: make([]int, n),
+		Hops:   make([]int, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Infinity
+		res.Parent[i] = NoVertex
+		res.Hops[i] = -1
+	}
+	res.Dist[src] = 0
+	res.Hops[src] = 0
+	h := newVertexHeap(n)
+	h.Push(src, 0)
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		for _, nb := range g.adj[u] {
+			alt := du + nb.Weight
+			if alt < res.Dist[nb.To] {
+				res.Dist[nb.To] = alt
+				res.Parent[nb.To] = u
+				res.Hops[nb.To] = res.Hops[u] + 1
+				h.PushOrDecrease(nb.To, alt)
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the computed path from the source to v as a vertex
+// sequence. Returns nil if v is unreachable.
+func (r *SSSPResult) PathTo(v int) []int {
+	if r.Dist[v] == Infinity {
+		return nil
+	}
+	var rev []int
+	for x := v; x != NoVertex; x = r.Parent[x] {
+		rev = append(rev, x)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// BoundedBellmanFord computes t-bounded distances d^(t)(src, ·): the length
+// of the shortest path using at most t edges. It runs t synchronous
+// relaxation rounds; unreachable-within-t vertices get Infinity.
+func (g *Graph) BoundedBellmanFord(src, t int) *SSSPResult {
+	return g.BoundedBellmanFordMulti([]int{src}, nil, t)
+}
+
+// BoundedBellmanFordMulti runs t rounds of synchronous Bellman-Ford from a
+// set of sources. inits, when non-nil, gives each source an initial distance
+// offset (same length as sources); otherwise sources start at 0. The Source
+// field of the result is NoVertex when len(sources) != 1.
+func (g *Graph) BoundedBellmanFordMulti(sources []int, inits []float64, t int) *SSSPResult {
+	n := g.N()
+	res := &SSSPResult{
+		Source: NoVertex,
+		Dist:   make([]float64, n),
+		Parent: make([]int, n),
+		Hops:   make([]int, n),
+	}
+	if len(sources) == 1 {
+		res.Source = sources[0]
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Infinity
+		res.Parent[i] = NoVertex
+		res.Hops[i] = -1
+	}
+	frontier := make([]int, 0, len(sources))
+	for i, s := range sources {
+		d := 0.0
+		if inits != nil {
+			d = inits[i]
+		}
+		if d < res.Dist[s] {
+			res.Dist[s] = d
+			res.Hops[s] = 0
+			frontier = append(frontier, s)
+		}
+	}
+	inFrontier := make([]bool, n)
+	for _, s := range frontier {
+		inFrontier[s] = true
+	}
+	for round := 0; round < t && len(frontier) > 0; round++ {
+		var next []int
+		inNext := make([]bool, n)
+		for _, u := range frontier {
+			inFrontier[u] = false
+			du := res.Dist[u]
+			for _, nb := range g.adj[u] {
+				alt := du + nb.Weight
+				if alt < res.Dist[nb.To] {
+					res.Dist[nb.To] = alt
+					res.Parent[nb.To] = u
+					res.Hops[nb.To] = res.Hops[u] + 1
+					if !inNext[nb.To] {
+						inNext[nb.To] = true
+						next = append(next, nb.To)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+// AllPairs computes exact all-pairs shortest path distances with n Dijkstra
+// runs. Intended for evaluation on moderate n (quadratic memory).
+func (g *Graph) AllPairs() [][]float64 {
+	n := g.N()
+	out := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		out[s] = g.Dijkstra(s).Dist
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tree is a rooted tree over a subset of the vertices of a host graph. It is
+// stored as parent pointers indexed by host vertex id; vertices outside the
+// tree have parent NoVertex and Member false. Children lists are
+// precomputed, ordered by vertex id (this order plays the role of the "port
+// order" that tree-routing algorithms assume).
+type Tree struct {
+	Root     int
+	parent   []int
+	member   []bool
+	children [][]int
+	size     int
+}
+
+// NewTree builds a rooted tree from parent pointers. parent must have one
+// entry per host vertex; members are root plus every vertex with a parent.
+// It validates that parent pointers form a tree rooted at root.
+func NewTree(root int, parent []int) (*Tree, error) {
+	n := len(parent)
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("graph: tree root %d out of range [0,%d)", root, n)
+	}
+	if parent[root] != NoVertex {
+		return nil, fmt.Errorf("graph: root %d has parent %d", root, parent[root])
+	}
+	t := &Tree{
+		Root:     root,
+		parent:   append([]int(nil), parent...),
+		member:   make([]bool, n),
+		children: make([][]int, n),
+	}
+	t.member[root] = true
+	t.size = 1
+	for v, p := range parent {
+		if v == root || p == NoVertex {
+			continue
+		}
+		if p < 0 || p >= n {
+			return nil, fmt.Errorf("graph: vertex %d has parent %d out of range", v, p)
+		}
+		t.member[v] = true
+		t.size++
+		t.children[p] = append(t.children[p], v)
+	}
+	// Verify every member reaches the root (no cycles, no orphan clumps).
+	state := make([]int8, n) // 0 unknown, 1 on current path, 2 verified
+	state[root] = 2
+	for v := 0; v < n; v++ {
+		if !t.member[v] || state[v] == 2 {
+			continue
+		}
+		var path []int
+		x := v
+		for state[x] == 0 {
+			state[x] = 1
+			path = append(path, x)
+			p := t.parent[x]
+			if p == NoVertex || !t.member[p] {
+				return nil, fmt.Errorf("graph: vertex %d detached from root (parent %d)", x, p)
+			}
+			x = p
+		}
+		if state[x] == 1 {
+			return nil, fmt.Errorf("graph: parent pointers contain a cycle through %d", x)
+		}
+		for _, y := range path {
+			state[y] = 2
+		}
+	}
+	return t, nil
+}
+
+// TreeFromSSSP converts a shortest-path tree into a Tree spanning all
+// reachable vertices.
+func TreeFromSSSP(r *SSSPResult) (*Tree, error) {
+	return NewTree(r.Source, r.Parent)
+}
+
+// TreeFromBFS converts a BFS tree into a Tree.
+func TreeFromBFS(r *BFSResult) (*Tree, error) {
+	return NewTree(r.Source, r.Parent)
+}
+
+// HostSize returns the number of vertices in the host graph's id space.
+func (t *Tree) HostSize() int { return len(t.parent) }
+
+// Size returns the number of tree members.
+func (t *Tree) Size() int { return t.size }
+
+// Member reports whether v belongs to the tree.
+func (t *Tree) Member(v int) bool { return v >= 0 && v < len(t.member) && t.member[v] }
+
+// Parent returns the tree parent of v (NoVertex for the root or
+// non-members).
+func (t *Tree) Parent(v int) int { return t.parent[v] }
+
+// Children returns v's children ordered by vertex id. Owned by the tree.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// Members returns all member vertex ids in increasing order.
+func (t *Tree) Members() []int {
+	out := make([]int, 0, t.size)
+	for v, m := range t.member {
+		if m {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Depths returns each member's edge-depth below the root (-1 for
+// non-members).
+func (t *Tree) Depths() []int {
+	d := make([]int, len(t.parent))
+	for i := range d {
+		d[i] = -1
+	}
+	d[t.Root] = 0
+	for _, v := range t.PreOrder() {
+		if v == t.Root {
+			continue
+		}
+		d[v] = d[t.parent[v]] + 1
+	}
+	return d
+}
+
+// Height returns the maximum member depth.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.Depths() {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// PreOrder returns members in depth-first preorder (children in id order).
+func (t *Tree) PreOrder() []int {
+	out := make([]int, 0, t.size)
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, u)
+		ch := t.children[u]
+		for i := len(ch) - 1; i >= 0; i-- {
+			stack = append(stack, ch[i])
+		}
+	}
+	return out
+}
+
+// PostOrder returns members in depth-first postorder.
+func (t *Tree) PostOrder() []int {
+	pre := t.PreOrder()
+	out := make([]int, len(pre))
+	// Reverse preorder with reversed child order is a valid postorder.
+	stack := []int{t.Root}
+	idx := len(out)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		idx--
+		out[idx] = u
+		stack = append(stack, t.children[u]...)
+	}
+	return out
+}
+
+// SubtreeSizes returns |subtree(v)| for every member (0 for non-members).
+func (t *Tree) SubtreeSizes() []int {
+	s := make([]int, len(t.parent))
+	for _, v := range t.PostOrder() {
+		s[v] = 1
+		for _, c := range t.children[v] {
+			s[v] += s[c]
+		}
+	}
+	return s
+}
+
+// HeavyChildren returns, for every member, the child with the largest
+// subtree (ties broken toward the smaller id), or NoVertex for leaves.
+// This is the decomposition at the heart of Thorup-Zwick tree routing: every
+// root-to-vertex path crosses at most log2(n) non-heavy ("light") edges.
+func (t *Tree) HeavyChildren() []int {
+	sizes := t.SubtreeSizes()
+	h := make([]int, len(t.parent))
+	for i := range h {
+		h[i] = NoVertex
+	}
+	for v := range t.parent {
+		if !t.member[v] {
+			continue
+		}
+		best, bestSize := NoVertex, -1
+		for _, c := range t.children[v] {
+			if sizes[c] > bestSize {
+				best, bestSize = c, sizes[c]
+			}
+		}
+		h[v] = best
+	}
+	return h
+}
+
+// PathToRoot returns the vertex sequence v, parent(v), ..., root.
+func (t *Tree) PathToRoot(v int) []int {
+	var out []int
+	for x := v; x != NoVertex; x = t.parent[x] {
+		out = append(out, x)
+	}
+	return out
+}
+
+// TreeDistHops returns the number of tree edges between members u and v.
+func (t *Tree) TreeDistHops(u, v int) int {
+	depth := t.Depths()
+	du, dv := depth[u], depth[v]
+	hops := 0
+	for du > dv {
+		u = t.parent[u]
+		du--
+		hops++
+	}
+	for dv > du {
+		v = t.parent[v]
+		dv--
+		hops++
+	}
+	for u != v {
+		u, v = t.parent[u], t.parent[v]
+		hops += 2
+	}
+	return hops
+}
+
+// SpanningTree extracts a spanning tree of a connected graph. kind selects
+// the flavor: "bfs" (shallow), "sssp" (shortest-path tree, weighted), or
+// "dfs" (deep — worst case for naive tree algorithms, the regime the paper's
+// tree routing targets).
+func SpanningTree(g *Graph, root int, kind string, r *rand.Rand) (*Tree, error) {
+	switch kind {
+	case "bfs":
+		return TreeFromBFS(g.BFS(root))
+	case "sssp":
+		return TreeFromSSSP(g.Dijkstra(root))
+	case "dfs":
+		n := g.N()
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = NoVertex
+		}
+		visited := make([]bool, n)
+		visited[root] = true
+		stack := []int{root}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nbs := g.Neighbors(u)
+			order := r.Perm(len(nbs))
+			for _, i := range order {
+				v := nbs[i].To
+				if !visited[v] {
+					visited[v] = true
+					parent[v] = u
+					stack = append(stack, v)
+				}
+			}
+		}
+		for v, ok := range visited {
+			if !ok {
+				return nil, fmt.Errorf("graph: spanning tree: vertex %d unreachable: %w", v, ErrDisconnected)
+			}
+		}
+		return NewTree(root, parent)
+	default:
+		return nil, fmt.Errorf("graph: unknown spanning tree kind %q", kind)
+	}
+}
+
+// TreeWeights returns, for each member v other than the root, the weight of
+// the tree edge (v, parent(v)) looked up in the host graph g; missing edges
+// get weight 1 (trees built over virtual edges).
+func (t *Tree) TreeWeights(g *Graph) []float64 {
+	w := make([]float64, len(t.parent))
+	for v := range t.parent {
+		if !t.member[v] || v == t.Root {
+			continue
+		}
+		if wt, ok := g.EdgeWeight(v, t.parent[v]); ok {
+			w[v] = wt
+		} else {
+			w[v] = 1
+		}
+	}
+	return w
+}

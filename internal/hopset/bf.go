@@ -1,0 +1,187 @@
+package hopset
+
+import (
+	"fmt"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+// BFOptions configures the hopset-accelerated Bellman-Ford of Lemma 2.
+type BFOptions struct {
+	// Beta caps the number of iterations. Zero runs to convergence (and
+	// reports the realised iteration count, the empirical β).
+	Beta int
+	// Limit restricts the host-graph part of each iteration (used by the
+	// approximate-cluster machinery; may be nil).
+	Limit LimitFunc
+}
+
+// BFResult is the outcome of BellmanFord: per-host-vertex distance
+// estimates, parents (host neighbors) realising them, the seed each estimate
+// descends from, and the number of iterations executed.
+type BFResult struct {
+	Dist       []float64
+	Parent     []int
+	Origin     []int
+	Iterations int
+}
+
+// BellmanFord runs iterations of Bellman-Ford in G' ∪ H from a set-source
+// (Lemma 2): each iteration performs one B-bounded exploration in the host
+// graph (covering the implicit E' and informing all host vertices) and one
+// broadcast pass over the hopset edges (each virtual vertex announces its
+// estimate and its stored out-edges; α = MaxOutDegree bounds the per-vertex
+// work and memory). Estimates never drop below true host distances; with a
+// valid (β,ε)-hopset they reach (1+ε)-accuracy within β iterations.
+func BellmanFord(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []Source, opts BFOptions) (*BFResult, error) {
+	n := sim.N()
+	res := &BFResult{
+		Dist:   make([]float64, n),
+		Parent: make([]int, n),
+		Origin: make([]int, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = graph.Infinity
+		res.Parent[i] = graph.NoVertex
+		res.Origin[i] = graph.NoVertex
+	}
+	for _, s := range seeds {
+		if s.At < 0 || s.At >= n {
+			return nil, fmt.Errorf("hopset: BF seed %d out of range", s.At)
+		}
+		if s.Dist < res.Dist[s.At] {
+			res.Dist[s.At] = s.Dist
+			res.Origin[s.At] = s.At
+		}
+	}
+	if len(seeds) == 0 {
+		return res, nil
+	}
+	maxIter := opts.Beta
+	if maxIter <= 0 {
+		maxIter = 4 * (vg.M() + 1)
+	}
+
+	// Estimates per virtual vertex are charged once (1 word); host entries
+	// are charged inside Explore.
+	for _, u := range vg.Members() {
+		sim.Mem(u).Charge(1)
+	}
+
+	const bfRoot = -2
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+
+		// E' step: one B-bounded exploration from every vertex holding a
+		// finite estimate (this simultaneously delivers estimates to all
+		// host vertices, virtual or not).
+		var srcs []Source
+		for v := 0; v < n; v++ {
+			if res.Dist[v] != graph.Infinity {
+				srcs = append(srcs, Source{Root: bfRoot, At: v, Dist: res.Dist[v]})
+			}
+		}
+		ex, err := Explore(sim, srcs, ExploreOptions{Hops: vg.B(), Limit: opts.Limit})
+		if err != nil {
+			return nil, fmt.Errorf("hopset: BF iteration %d: %w", iter, err)
+		}
+		for v := 0; v < n; v++ {
+			e, ok := ex.Get(v, bfRoot)
+			if !ok || e.Dist >= res.Dist[v] {
+				continue
+			}
+			res.Dist[v] = e.Dist
+			res.Origin[v] = res.Origin[e.Origin]
+			if e.Parent != graph.NoVertex {
+				res.Parent[v] = e.Parent
+			}
+			changed = true
+		}
+
+		// H step: every virtual vertex broadcasts its estimate and its
+		// stored out-edges; both endpoints of each edge relax.
+		type bEst struct {
+			u   int
+			d   float64
+			out []Edge
+		}
+		var msgs []congest.BroadcastMsg
+		for _, u := range vg.Members() {
+			if res.Dist[u] == graph.Infinity && len(hs.Out(u)) == 0 {
+				continue
+			}
+			msgs = append(msgs, congest.BroadcastMsg{
+				Origin:  u,
+				Payload: bEst{u: u, d: res.Dist[u], out: hs.Out(u)},
+				Words:   2 + 3*len(hs.Out(u)),
+			})
+		}
+		hopsetRelax := make(map[int]struct {
+			d    float64
+			viaU int
+			viaW int // head of the hopset edge used (for path recovery)
+		})
+		sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
+			p := m.Payload.(bEst)
+			if !vg.IsMember(v) {
+				return
+			}
+			// Forward direction: an out-edge (p.u -> w) relaxes w = v.
+			if p.d != graph.Infinity {
+				for _, e := range p.out {
+					if e.To != v {
+						continue
+					}
+					alt := p.d + e.Weight
+					cur, ok := hopsetRelax[v]
+					if alt < res.Dist[v] && (!ok || alt < cur.d) {
+						hopsetRelax[v] = struct {
+							d    float64
+							viaU int
+							viaW int
+						}{d: alt, viaU: p.u, viaW: v}
+					}
+				}
+			}
+			// Reverse direction: v's own out-edge (v -> p.u) relaxes v.
+			if p.d != graph.Infinity {
+				for _, e := range hs.Out(v) {
+					if e.To != p.u {
+						continue
+					}
+					alt := p.d + e.Weight
+					cur, ok := hopsetRelax[v]
+					if alt < res.Dist[v] && (!ok || alt < cur.d) {
+						hopsetRelax[v] = struct {
+							d    float64
+							viaU int
+							viaW int
+						}{d: alt, viaU: p.u, viaW: p.u}
+					}
+				}
+			}
+		})
+		for v, rel := range hopsetRelax {
+			if rel.d < res.Dist[v] {
+				res.Dist[v] = rel.d
+				res.Origin[v] = res.Origin[rel.viaU]
+				// The realising walk enters v over a hopset edge; the host
+				// parent is v's neighbor on that edge's recovery path. Look
+				// it up from whichever orientation stores the edge.
+				if path, ok := hs.Path(v, rel.viaU); ok && len(path) > 1 {
+					res.Parent[v] = path[1]
+				} else if path, ok := hs.Path(rel.viaU, v); ok && len(path) > 1 {
+					res.Parent[v] = path[len(path)-2]
+				}
+				changed = true
+			}
+		}
+
+		res.Iterations = iter + 1
+		if !changed {
+			break
+		}
+	}
+	return res, nil
+}

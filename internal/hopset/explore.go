@@ -1,0 +1,243 @@
+package hopset
+
+import (
+	"fmt"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+// Source seeds an exploration: host vertex At starts with estimate Dist for
+// the exploration identified by Root. Several sources may share a Root
+// (set-source explorations, e.g. "distance to A_{i+1}").
+type Source struct {
+	Root int
+	At   int
+	Dist float64
+}
+
+// LimitFunc decides whether host vertex v may forward Root's exploration
+// after adopting estimate d. This is how the paper's cluster-membership
+// conditions (d < d(v, A_{i+1}) and the (1+ε)-relaxed variants) bound both
+// congestion and per-vertex memory. nil means always forward.
+type LimitFunc func(v, root int, d float64) bool
+
+// Entry is one exploration's record at a host vertex.
+type Entry struct {
+	Dist   float64
+	Parent int // host neighbor that delivered the estimate; NoVertex at seeds
+	Origin int // the seed vertex whose exploration reached here
+}
+
+// ExploreOptions configures Explore.
+type ExploreOptions struct {
+	// Hops is the per-message hop budget (the B in "B-bounded").
+	Hops int
+	// Limit is the forwarding predicate (may be nil).
+	Limit LimitFunc
+	// MaxRounds caps the simulation; 0 selects a generous default. Hitting
+	// the cap returns an error: it indicates a bug, not load.
+	MaxRounds int
+}
+
+// ExploreResult maps, at every host vertex, each exploration root to its
+// best entry.
+type ExploreResult struct {
+	Entries []map[int]Entry
+}
+
+// Get returns root's entry at v.
+func (r *ExploreResult) Get(v, root int) (Entry, bool) {
+	e, ok := r.Entries[v][root]
+	return e, ok
+}
+
+// Dist returns root's distance estimate at v (Infinity if absent).
+func (r *ExploreResult) Dist(v, root int) float64 {
+	if e, ok := r.Entries[v][root]; ok {
+		return e.Dist
+	}
+	return graph.Infinity
+}
+
+// PathToSeed walks parent pointers from v back to the seed of root's
+// exploration. Returns nil if v has no entry.
+func (r *ExploreResult) PathToSeed(v, root int) []int {
+	if _, ok := r.Entries[v][root]; !ok {
+		return nil
+	}
+	var path []int
+	for x := v; x != graph.NoVertex; {
+		path = append(path, x)
+		e := r.Entries[x][root]
+		x = e.Parent
+	}
+	return path
+}
+
+// exploreMsg is the wire format: 5 words (tag, root, origin, dist, ttl).
+type exploreMsg struct {
+	root   int
+	origin int
+	dist   float64
+	ttl    int
+}
+
+const exploreMsgWords = 5
+
+// exploreState is the per-(vertex, root) working record: beyond the Entry it
+// tracks the farthest remaining hop budget seen, so that explorations merge
+// a Pareto frontier of (distance, reach). Forwarding happens whenever either
+// coordinate improves; the merged estimate can therefore slightly overreach
+// the strict B-bound (it still describes a genuine walk in G, so all
+// safety properties that rely on estimates being at least d_G hold; see the
+// package comment in DESIGN.md).
+type exploreState struct {
+	Entry
+	ttl int
+}
+
+// Explore runs a multi-root, hop-bounded, limit-respecting Bellman-Ford
+// exploration in the host graph on the simulator. Every adopted entry
+// occupies 3 words (root, dist, parent) at the holding vertex for the
+// duration of the exploration - this is exactly the "number of clusters
+// containing the vertex" working memory of the paper. The charge is
+// released when Explore returns (the peak remains recorded); callers that
+// retain entries beyond the exploration charge them separately.
+func Explore(sim *congest.Simulator, sources []Source, opts ExploreOptions) (*ExploreResult, error) {
+	n := sim.N()
+	if opts.Hops < 1 {
+		return nil, fmt.Errorf("hopset: explore hop budget %d < 1", opts.Hops)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 10*opts.Hops + 4*n + 4096
+	}
+	state := make([]map[int]*exploreState, n)
+	for v := range state {
+		state[v] = make(map[int]*exploreState)
+	}
+
+	var initial []int
+	seedsAt := make(map[int][]Source)
+	for _, s := range sources {
+		if s.At < 0 || s.At >= n {
+			return nil, fmt.Errorf("hopset: seed at %d out of range", s.At)
+		}
+		if len(seedsAt[s.At]) == 0 {
+			initial = append(initial, s.At)
+		}
+		seedsAt[s.At] = append(seedsAt[s.At], s)
+	}
+
+	forward := func(v, root int, st *exploreState, ctx *congest.Ctx) {
+		if st.ttl <= 0 {
+			return
+		}
+		if opts.Limit != nil && !opts.Limit(v, root, st.Dist) {
+			return
+		}
+		for _, nb := range sim.Graph().Neighbors(v) {
+			ctx.Send(nb.To, exploreMsg{
+				root:   root,
+				origin: st.Origin,
+				dist:   st.Dist + nb.Weight,
+				ttl:    st.ttl - 1,
+			}, exploreMsgWords)
+		}
+	}
+
+	adopt := func(v, root int, e Entry, ttl int, ctx *congest.Ctx, isSeed bool) {
+		cur, ok := state[v][root]
+		if !ok {
+			// A vertex only stores an estimate it would act on: seeds and
+			// estimates passing the forwarding limit. Failing messages are
+			// processed streaming and dropped (they cost no memory).
+			if !isSeed && opts.Limit != nil && !opts.Limit(v, root, e.Dist) {
+				return
+			}
+			state[v][root] = &exploreState{Entry: e, ttl: ttl}
+			ctx.Mem().Charge(3)
+			forward(v, root, state[v][root], ctx)
+			return
+		}
+		distBetter := e.Dist < cur.Dist
+		ttlBetter := ttl > cur.ttl
+		if !distBetter && !ttlBetter {
+			return
+		}
+		if distBetter {
+			cur.Entry = e
+		}
+		if ttlBetter {
+			cur.ttl = ttl
+		}
+		forward(v, root, cur, ctx)
+	}
+
+	rounds := sim.Run(initial, maxRounds, func(v int, ctx *congest.Ctx) {
+		if ctx.Round() == 0 {
+			for _, s := range seedsAt[v] {
+				adopt(v, s.Root, Entry{Dist: s.Dist, Parent: graph.NoVertex, Origin: s.At}, opts.Hops, ctx, true)
+			}
+		}
+		for _, m := range ctx.In() {
+			em, ok := m.Payload.(exploreMsg)
+			if !ok {
+				continue
+			}
+			adopt(v, em.root, Entry{Dist: em.dist, Parent: m.From, Origin: em.origin}, em.ttl, ctx, false)
+		}
+	})
+	if rounds >= maxRounds {
+		return nil, fmt.Errorf("hopset: exploration did not converge within %d rounds", maxRounds)
+	}
+
+	res := &ExploreResult{Entries: make([]map[int]Entry, n)}
+	for v := range state {
+		if len(state[v]) == 0 {
+			continue
+		}
+		res.Entries[v] = make(map[int]Entry, len(state[v]))
+		for root, st := range state[v] {
+			res.Entries[v][root] = st.Entry
+		}
+		sim.Mem(v).Release(3 * int64(len(state[v])))
+	}
+	return res, nil
+}
+
+// DistToSet is a convenience wrapper: a single set-source exploration from
+// all seeds (shared root), returning per-vertex distance, parent and nearest
+// seed. Vertices beyond the hop budget hold Infinity.
+func DistToSet(sim *congest.Simulator, seeds []int, hops int) (dist []float64, parent, origin []int, err error) {
+	const setRoot = -1
+	srcs := make([]Source, 0, len(seeds))
+	for _, s := range seeds {
+		srcs = append(srcs, Source{Root: setRoot, At: s, Dist: 0})
+	}
+	n := sim.N()
+	dist = make([]float64, n)
+	parent = make([]int, n)
+	origin = make([]int, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+		parent[i] = graph.NoVertex
+		origin[i] = graph.NoVertex
+	}
+	if len(seeds) == 0 {
+		return dist, parent, origin, nil
+	}
+	res, err := Explore(sim, srcs, ExploreOptions{Hops: hops})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for v := range res.Entries {
+		if e, ok := res.Get(v, setRoot); ok {
+			dist[v] = e.Dist
+			parent[v] = e.Parent
+			origin[v] = e.Origin
+		}
+	}
+	return dist, parent, origin, nil
+}

@@ -1,0 +1,223 @@
+package hopset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+// Options configures the hopset construction.
+type Options struct {
+	// Kappa is the number of sampling levels (the κ of Theorem 1).
+	// Defaults to 3; larger κ shrinks per-vertex memory (arboricity
+	// m^{1/κ}) at the cost of a larger realised hop bound β.
+	Kappa int
+	// Seed drives the level sampling.
+	Seed int64
+	// HopGrowth multiplies the exploration hop budget at each level
+	// (cluster radii grow with level). Defaults to 3.
+	HopGrowth int
+}
+
+// Edge is one hopset edge, oriented from the vertex that stores it toward
+// the cluster/pivot center it connects to.
+type Edge struct {
+	To     int
+	Weight float64
+	Level  int
+}
+
+// Hopset is a (β,ε)-hopset for a virtual graph, with out-degree-bounded
+// orientation (the arboricity witness) and path recovery.
+type Hopset struct {
+	vg  *VirtualGraph
+	out map[int][]Edge
+	// paths holds, for each oriented edge (from, to), the host-graph path
+	// realising its weight (path recovery). The distributed knowledge
+	// backing it - per-vertex parent pointers - is charged to the meters
+	// during construction; this map is simulation bookkeeping.
+	paths map[[2]int][]int
+}
+
+// Build constructs a hopset for vg on the simulator, charging its
+// communication to the simulator's counters. The construction is a
+// Thorup-Zwick-style sampling hierarchy: each level samples surviving
+// centers with probability m^{-1/κ}; every virtual vertex connects to its
+// nearest next-level center (pivot) and to every center of the current level
+// that is closer than the pivot (its bunch). All distances come from
+// hop-bounded explorations in the host graph - E' is never materialised.
+func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, error) {
+	kappa := opts.Kappa
+	if kappa < 2 {
+		kappa = 3
+	}
+	growth := opts.HopGrowth
+	if growth < 1 {
+		growth = 3
+	}
+	m := vg.M()
+	hs := &Hopset{
+		vg:    vg,
+		out:   make(map[int][]Edge),
+		paths: make(map[[2]int][]int),
+	}
+	if m == 0 {
+		return hs, nil
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	p := math.Pow(float64(m), -1/float64(kappa))
+
+	level := append([]int(nil), vg.Members()...)
+	hops := vg.B()
+	maxHops := 4 * sim.N()
+	for i := 0; i < kappa && len(level) > 0; i++ {
+		var next []int
+		if i < kappa-1 {
+			for _, v := range level {
+				if rng.Float64() < p {
+					next = append(next, v)
+				}
+			}
+		}
+
+		// Pivot distances d(·, W_{i+1}) at every host vertex.
+		pivotDist, pivotParent, pivotOrigin, err := DistToSet(sim, next, hops)
+		if err != nil {
+			return nil, fmt.Errorf("hopset: level %d pivots: %w", i, err)
+		}
+		// The pivot field (dist + parent) is retained for the level.
+		for v := range pivotDist {
+			if pivotDist[v] != graph.Infinity {
+				sim.Mem(v).Charge(2)
+			}
+		}
+
+		// Cluster explorations from every center of this level, limited by
+		// the pivot distance (the Thorup-Zwick condition).
+		srcs := make([]Source, 0, len(level))
+		inLevel := make(map[int]bool, len(level))
+		for _, w := range level {
+			srcs = append(srcs, Source{Root: w, At: w, Dist: 0})
+			inLevel[w] = true
+		}
+		limit := func(v, root int, d float64) bool { return d < pivotDist[v] }
+		res, err := Explore(sim, srcs, ExploreOptions{Hops: hops, Limit: limit})
+		if err != nil {
+			return nil, fmt.Errorf("hopset: level %d clusters: %w", i, err)
+		}
+		// Cluster entries (dist + parent per center) back the
+		// path-recovery mechanism and are retained.
+		for v := range res.Entries {
+			sim.Mem(v).Charge(3 * int64(len(res.Entries[v])))
+		}
+
+		// Bunch edges: u -> w for every center w whose cluster reached u.
+		for _, u := range vg.Members() {
+			for w, e := range res.Entries[u] {
+				if w == u || !inLevel[w] {
+					continue
+				}
+				if e.Dist >= pivotDist[u] {
+					continue // not strictly inside the bunch
+				}
+				hs.addEdge(sim, u, w, e.Dist, i, res.PathToSeed(u, w))
+			}
+			// Pivot edge: u -> nearest next-level center.
+			if z := pivotOrigin[u]; z != graph.NoVertex && z != u {
+				hs.addEdge(sim, u, z, pivotDist[u], i, chaseParents(u, pivotParent))
+			}
+		}
+
+		level = next
+		hops *= growth
+		if hops > maxHops {
+			hops = maxHops
+		}
+	}
+	return hs, nil
+}
+
+// chaseParents walks parent pointers from u back to a seed.
+func chaseParents(u int, parent []int) []int {
+	var path []int
+	for x := u; x != graph.NoVertex; x = parent[x] {
+		path = append(path, x)
+		if len(path) > len(parent) {
+			break // defensive: corrupt pointers must not loop forever
+		}
+	}
+	return path
+}
+
+func (h *Hopset) addEdge(sim *congest.Simulator, from, to int, w float64, level int, path []int) {
+	key := [2]int{from, to}
+	if _, ok := h.paths[key]; ok {
+		return
+	}
+	h.out[from] = append(h.out[from], Edge{To: to, Weight: w, Level: level})
+	h.paths[key] = path
+	sim.Mem(from).Charge(3)
+}
+
+// Out returns the hopset edges stored at (oriented out of) virtual vertex v.
+func (h *Hopset) Out(v int) []Edge { return h.out[v] }
+
+// Size returns the number of oriented hopset edges.
+func (h *Hopset) Size() int {
+	t := 0
+	for _, es := range h.out {
+		t += len(es)
+	}
+	return t
+}
+
+// MaxOutDegree returns the maximum number of hopset edges stored at any
+// virtual vertex - the arboricity witness α of Lemma 2 (orienting every
+// edge out of its storing endpoint decomposes the hopset into at most α
+// forests).
+func (h *Hopset) MaxOutDegree() int {
+	mx := 0
+	for _, es := range h.out {
+		if len(es) > mx {
+			mx = len(es)
+		}
+	}
+	return mx
+}
+
+// Path returns the host path realising the oriented edge (from, to), and
+// whether the edge exists.
+func (h *Hopset) Path(from, to int) ([]int, bool) {
+	p, ok := h.paths[[2]int{from, to}]
+	return p, ok
+}
+
+// Edges returns all oriented hopset edges sorted by (From, To).
+func (h *Hopset) Edges() []struct {
+	From int
+	Edge
+} {
+	var out []struct {
+		From int
+		Edge
+	}
+	for from, es := range h.out {
+		for _, e := range es {
+			out = append(out, struct {
+				From int
+				Edge
+			}{From: from, Edge: e})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

@@ -1,0 +1,467 @@
+package hopset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+func testGraph(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := graph.Generate(graph.FamilyErdosRenyi, n, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func sampleMembers(g *graph.Graph, frac float64, r *rand.Rand) []int {
+	var ms []int
+	for v := 0; v < g.N(); v++ {
+		if r.Float64() < frac {
+			ms = append(ms, v)
+		}
+	}
+	if len(ms) == 0 {
+		ms = append(ms, 0)
+	}
+	return ms
+}
+
+func TestVirtualGraphBasics(t *testing.T) {
+	g := testGraph(t, 50, 1)
+	vg, err := NewVirtualGraph(g, []int{3, 1, 3, 7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.M() != 3 {
+		t.Fatalf("M=%d want 3 (dedup)", vg.M())
+	}
+	if !vg.IsMember(7) || vg.IsMember(2) || vg.IsMember(-1) {
+		t.Fatal("membership wrong")
+	}
+	if vg.B() != 5 {
+		t.Fatalf("B=%d", vg.B())
+	}
+	ms := vg.Members()
+	if ms[0] != 1 || ms[1] != 3 || ms[2] != 7 {
+		t.Fatalf("Members=%v", ms)
+	}
+}
+
+func TestVirtualGraphErrors(t *testing.T) {
+	g := testGraph(t, 10, 1)
+	if _, err := NewVirtualGraph(g, []int{0}, 0); err == nil {
+		t.Fatal("B=0 should error")
+	}
+	if _, err := NewVirtualGraph(g, []int{99}, 3); err == nil {
+		t.Fatal("out-of-range member should error")
+	}
+}
+
+func TestMaterializeMatchesBoundedDistances(t *testing.T) {
+	g := testGraph(t, 60, 2)
+	r := rand.New(rand.NewSource(3))
+	vg, err := NewVirtualGraph(g, sampleMembers(g, 0.3, r), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, toVirt := vg.Materialize()
+	if gp.N() != vg.M() {
+		t.Fatalf("materialized N=%d want %d", gp.N(), vg.M())
+	}
+	for _, u := range vg.Members() {
+		bb := g.BoundedBellmanFord(u, 3)
+		for _, w := range vg.Members() {
+			if u >= w {
+				continue
+			}
+			got, ok := gp.EdgeWeight(toVirt[u], toVirt[w])
+			if bb.Dist[w] == graph.Infinity {
+				if ok {
+					t.Fatalf("edge {%d,%d} should not exist", u, w)
+				}
+				continue
+			}
+			if !ok || got != bb.Dist[w] {
+				t.Fatalf("edge {%d,%d}: got %v,%v want %v", u, w, got, ok, bb.Dist[w])
+			}
+		}
+	}
+}
+
+func TestExactDistancesAreMetricOverVirtual(t *testing.T) {
+	g := testGraph(t, 50, 4)
+	r := rand.New(rand.NewSource(5))
+	vg, err := NewVirtualGraph(g, sampleMembers(g, 0.4, r), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := vg.Members()
+	dists := vg.ExactDistances(ms[:2])
+	for s, dist := range dists {
+		if dist[s] != 0 {
+			t.Fatalf("d(%d,%d)=%v", s, s, dist[s])
+		}
+		// Virtual distances dominate host distances.
+		exact := g.Dijkstra(s)
+		for _, w := range ms {
+			if dist[w] != graph.Infinity && dist[w] < exact.Dist[w] {
+				t.Fatalf("d_G'(%d,%d)=%v below d_G=%v", s, w, dist[w], exact.Dist[w])
+			}
+		}
+	}
+}
+
+func TestExploreSingleSourceMatchesBoundedBF(t *testing.T) {
+	g := testGraph(t, 80, 6)
+	sim := congest.New(g)
+	res, err := Explore(sim, []Source{{Root: 0, At: 0, Dist: 0}}, ExploreOptions{Hops: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := g.BoundedBellmanFord(0, 4)
+	for v := 0; v < g.N(); v++ {
+		got := res.Dist(v, 0)
+		// The Pareto-merged exploration may find shorter-than-B-bounded
+		// genuine paths but never below the true distance nor above the
+		// strict B-bounded distance.
+		exact := g.Dijkstra(0).Dist[v]
+		if got > ref.Dist[v] {
+			t.Fatalf("v=%d: explore %v above bounded BF %v", v, got, ref.Dist[v])
+		}
+		if got != graph.Infinity && got < exact {
+			t.Fatalf("v=%d: explore %v below exact %v", v, got, exact)
+		}
+	}
+}
+
+func TestExploreUnboundedMatchesDijkstra(t *testing.T) {
+	g := testGraph(t, 80, 7)
+	sim := congest.New(g)
+	res, err := Explore(sim, []Source{{Root: 5, At: 5, Dist: 0}}, ExploreOptions{Hops: g.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := g.Dijkstra(5)
+	for v := 0; v < g.N(); v++ {
+		if got := res.Dist(v, 5); got != exact.Dist[v] {
+			t.Fatalf("v=%d: %v want %v", v, got, exact.Dist[v])
+		}
+	}
+}
+
+func TestExploreParentChainsAreConsistent(t *testing.T) {
+	g := testGraph(t, 60, 8)
+	sim := congest.New(g)
+	res, err := Explore(sim, []Source{{Root: 3, At: 3, Dist: 0}}, ExploreOptions{Hops: g.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		path := res.PathToSeed(v, 3)
+		if path == nil {
+			continue
+		}
+		if path[len(path)-1] != 3 {
+			t.Fatalf("path from %d does not end at seed: %v", v, path)
+		}
+		var w float64
+		for i := 1; i < len(path); i++ {
+			ew, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("path hop {%d,%d} not an edge", path[i-1], path[i])
+			}
+			w += ew
+		}
+		if got := res.Dist(v, 3); got != w {
+			t.Fatalf("v=%d: recorded dist %v != path weight %v", v, got, w)
+		}
+	}
+}
+
+func TestExploreMultiRootIndependence(t *testing.T) {
+	g := testGraph(t, 60, 9)
+	sim := congest.New(g)
+	srcs := []Source{
+		{Root: 0, At: 0, Dist: 0},
+		{Root: 10, At: 10, Dist: 0},
+		{Root: 20, At: 20, Dist: 0},
+	}
+	res, err := Explore(sim, srcs, ExploreOptions{Hops: g.N()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range srcs {
+		exact := g.Dijkstra(s.Root)
+		for v := 0; v < g.N(); v++ {
+			if got := res.Dist(v, s.Root); got != exact.Dist[v] {
+				t.Fatalf("root %d, v=%d: %v want %v", s.Root, v, got, exact.Dist[v])
+			}
+		}
+	}
+}
+
+func TestExploreLimitStopsForwardingAndStorage(t *testing.T) {
+	// On a path, limit to distance < 3: vertices with distance < 3 join
+	// and forward; the vertex at distance 3 receives the message but drops
+	// it (no storage, no forwarding - the TZ cluster boundary), so nothing
+	// beyond distance 2 holds an entry.
+	g := graph.Path(10, graph.UnitWeights, rand.New(rand.NewSource(1)))
+	sim := congest.New(g)
+	limit := func(v, root int, d float64) bool { return d < 3 }
+	res, err := Explore(sim, []Source{{Root: 0, At: 0, Dist: 0}}, ExploreOptions{Hops: 100, Limit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 10; v++ {
+		got := res.Dist(v, 0)
+		if v <= 2 && got != float64(v) {
+			t.Fatalf("v=%d: %v want %d", v, got, v)
+		}
+		if v > 2 && got != graph.Infinity {
+			t.Fatalf("v=%d should hold no entry, got %v", v, got)
+		}
+	}
+}
+
+func TestExploreChargesEntryMemory(t *testing.T) {
+	g := graph.Path(5, graph.UnitWeights, rand.New(rand.NewSource(1)))
+	sim := congest.New(g)
+	if _, err := Explore(sim, []Source{{Root: 0, At: 0, Dist: 0}}, ExploreOptions{Hops: 10}); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if sim.Mem(v).Peak() < 3 {
+			t.Fatalf("vertex %d peak %d, want >= 3 (one entry)", v, sim.Mem(v).Peak())
+		}
+	}
+}
+
+func TestExploreErrors(t *testing.T) {
+	g := testGraph(t, 10, 1)
+	sim := congest.New(g)
+	if _, err := Explore(sim, nil, ExploreOptions{Hops: 0}); err == nil {
+		t.Fatal("hops 0 should error")
+	}
+	if _, err := Explore(sim, []Source{{Root: 0, At: 99, Dist: 0}}, ExploreOptions{Hops: 1}); err == nil {
+		t.Fatal("seed out of range should error")
+	}
+}
+
+func TestDistToSet(t *testing.T) {
+	g := testGraph(t, 70, 11)
+	sim := congest.New(g)
+	seeds := []int{0, 33, 66}
+	dist, parent, origin, err := DistToSet(sim, seeds, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.BoundedBellmanFordMulti(seeds, nil, g.N())
+	for v := 0; v < g.N(); v++ {
+		if dist[v] != want.Dist[v] {
+			t.Fatalf("v=%d: %v want %v", v, dist[v], want.Dist[v])
+		}
+	}
+	for _, s := range seeds {
+		if dist[s] != 0 || parent[s] != graph.NoVertex || origin[s] != s {
+			t.Fatalf("seed %d: dist=%v parent=%d origin=%d", s, dist[s], parent[s], origin[s])
+		}
+	}
+	// Origins must be actual seeds and consistent with distances.
+	for v := 0; v < g.N(); v++ {
+		o := origin[v]
+		if o != 0 && o != 33 && o != 66 {
+			t.Fatalf("v=%d origin %d not a seed", v, o)
+		}
+		if d := g.Dijkstra(o).Dist[v]; dist[v] < d {
+			t.Fatalf("v=%d: dist %v below d(origin) %v", v, dist[v], d)
+		}
+	}
+}
+
+func TestDistToSetEmpty(t *testing.T) {
+	g := testGraph(t, 10, 1)
+	dist, _, _, err := DistToSet(congest.New(g), nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dist {
+		if d != graph.Infinity {
+			t.Fatal("empty set should leave everything at Infinity")
+		}
+	}
+}
+
+func buildTestHopset(t *testing.T, n int, b int, seed int64) (*graph.Graph, *VirtualGraph, *Hopset, *congest.Simulator) {
+	t.Helper()
+	g := testGraph(t, n, seed)
+	r := rand.New(rand.NewSource(seed + 1))
+	vg, err := NewVirtualGraph(g, sampleMembers(g, 0.25, r), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := congest.New(g, congest.WithSeed(seed))
+	hs, err := Build(sim, vg, Options{Kappa: 3, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, vg, hs, sim
+}
+
+func TestHopsetEdgesAreValidDistances(t *testing.T) {
+	g, _, hs, _ := buildTestHopset(t, 100, 4, 13)
+	for _, e := range hs.Edges() {
+		exact := g.Dijkstra(e.From).Dist[e.To]
+		if e.Weight < exact {
+			t.Fatalf("hopset edge (%d,%d) weight %v below exact %v", e.From, e.To, e.Weight, exact)
+		}
+	}
+}
+
+func TestHopsetPathRecovery(t *testing.T) {
+	g, _, hs, _ := buildTestHopset(t, 100, 4, 14)
+	for _, e := range hs.Edges() {
+		path, ok := hs.Path(e.From, e.To)
+		if !ok || len(path) < 2 {
+			t.Fatalf("edge (%d,%d) missing recovery path", e.From, e.To)
+		}
+		if path[0] != e.From || path[len(path)-1] != e.To {
+			t.Fatalf("edge (%d,%d) path endpoints %v", e.From, e.To, path)
+		}
+		var w float64
+		for i := 1; i < len(path); i++ {
+			ew, ok := g.EdgeWeight(path[i-1], path[i])
+			if !ok {
+				t.Fatalf("edge (%d,%d): recovery hop {%d,%d} not a graph edge",
+					e.From, e.To, path[i-1], path[i])
+			}
+			w += ew
+		}
+		if w != e.Weight {
+			t.Fatalf("edge (%d,%d): path weight %v != edge weight %v", e.From, e.To, w, e.Weight)
+		}
+	}
+}
+
+func TestHopsetAcceleratesBF(t *testing.T) {
+	// With the hopset, set-source BF over G'∪H must converge in far fewer
+	// iterations than the virtual graph's unweighted diameter, and to
+	// estimates sandwiched between d_G and d_{G'}.
+	g, vg, hs, sim := buildTestHopset(t, 120, 3, 15)
+	seeds := []Source{{Root: -1, At: vg.Members()[0], Dist: 0}}
+	res, err := BellmanFord(sim, vg, hs, seeds, BFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactVirt := vg.ExactDistances([]int{vg.Members()[0]})[vg.Members()[0]]
+	exactHost := g.Dijkstra(vg.Members()[0])
+	for _, w := range vg.Members() {
+		if res.Dist[w] == graph.Infinity {
+			t.Fatalf("virtual vertex %d unreached", w)
+		}
+		if res.Dist[w] < exactHost.Dist[w] {
+			t.Fatalf("w=%d: estimate %v below host distance %v", w, res.Dist[w], exactHost.Dist[w])
+		}
+		if res.Dist[w] > exactVirt[w] {
+			t.Fatalf("w=%d: estimate %v above virtual distance %v", w, res.Dist[w], exactVirt[w])
+		}
+	}
+	if res.Iterations > vg.M() {
+		t.Fatalf("BF took %d iterations on %d virtual vertices", res.Iterations, vg.M())
+	}
+}
+
+func TestHopsetBFEmptySeeds(t *testing.T) {
+	_, vg, hs, sim := buildTestHopset(t, 50, 3, 16)
+	res, err := BellmanFord(sim, vg, hs, nil, BFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Dist {
+		if d != graph.Infinity {
+			t.Fatal("no seeds should mean no estimates")
+		}
+	}
+}
+
+func TestHopsetArboricityShrinksWithKappa(t *testing.T) {
+	g := testGraph(t, 200, 17)
+	r := rand.New(rand.NewSource(18))
+	members := sampleMembers(g, 0.5, r)
+	outDeg := make(map[int]int)
+	for _, kappa := range []int{2, 4} {
+		vg, err := NewVirtualGraph(g, members, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := congest.New(g)
+		hs, err := Build(sim, vg, Options{Kappa: kappa, Seed: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		outDeg[kappa] = hs.MaxOutDegree()
+	}
+	// More levels -> smaller bunches. Allow equality (randomness) but not
+	// an inversion by more than a factor of two.
+	if outDeg[4] > 2*outDeg[2] {
+		t.Fatalf("arboricity did not shrink with kappa: k2=%d k4=%d", outDeg[2], outDeg[4])
+	}
+}
+
+func TestHopsetEmptyVirtualGraph(t *testing.T) {
+	g := testGraph(t, 20, 20)
+	vg, err := NewVirtualGraph(g, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := Build(congest.New(g), vg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.Size() != 0 {
+		t.Fatal("empty virtual graph should give empty hopset")
+	}
+}
+
+// Property: hopset BF estimates are always sandwiched between host and
+// virtual distances, for random graphs and member sets.
+func TestHopsetBFSandwichProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 20
+		r := rand.New(rand.NewSource(seed))
+		g, err := graph.Generate(graph.FamilyErdosRenyi, n, r)
+		if err != nil {
+			return false
+		}
+		members := sampleMembers(g, 0.3, r)
+		vg, err := NewVirtualGraph(g, members, 3)
+		if err != nil {
+			return false
+		}
+		sim := congest.New(g, congest.WithSeed(seed))
+		hs, err := Build(sim, vg, Options{Kappa: 2, Seed: seed})
+		if err != nil {
+			return false
+		}
+		src := members[0]
+		res, err := BellmanFord(sim, vg, hs, []Source{{Root: -1, At: src, Dist: 0}}, BFOptions{})
+		if err != nil {
+			return false
+		}
+		exactVirt := vg.ExactDistances([]int{src})[src]
+		exactHost := g.Dijkstra(src)
+		for _, w := range members {
+			if res.Dist[w] < exactHost.Dist[w] || res.Dist[w] > exactVirt[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

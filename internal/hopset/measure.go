@@ -1,0 +1,113 @@
+package hopset
+
+import (
+	"math/rand"
+
+	"lowmemroute/internal/graph"
+)
+
+// MeasureHopbound empirically determines the hop bound β of a hopset: the
+// smallest t such that for every sampled pair of virtual vertices,
+// d^{(t)}_{G'∪H}(u,v) ≤ (1+eps)·d_{G'}(u,v). It materialises G' (test and
+// evaluation use only) and runs synchronous Bellman-Ford over G'∪H,
+// recording after how many iterations every pair is (1+eps)-settled.
+// Returns the measured β and the number of pairs checked.
+func MeasureHopbound(vg *VirtualGraph, hs *Hopset, eps float64, pairs int, r *rand.Rand) (int, int) {
+	m := vg.M()
+	if m < 2 {
+		return 0, 0
+	}
+	gp, toVirt := vg.Materialize()
+	// Union graph on virtual indices: G' plus hopset edges.
+	union := gp.Clone()
+	for _, e := range hs.Edges() {
+		ui, wi := toVirt[e.From], toVirt[e.To]
+		if ui >= 0 && wi >= 0 && !union.HasEdge(ui, wi) {
+			union.MustAddEdge(ui, wi, e.Weight)
+		}
+	}
+
+	members := vg.Members()
+	type pair struct{ u, v int }
+	sampled := make([]pair, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		sampled = append(sampled, pair{
+			u: toVirt[members[r.Intn(m)]],
+			v: toVirt[members[r.Intn(m)]],
+		})
+	}
+
+	beta := 0
+	checked := 0
+	for _, p := range sampled {
+		if p.u == p.v {
+			continue
+		}
+		exact := gp.Dijkstra(p.u).Dist[p.v]
+		if exact == graph.Infinity {
+			continue
+		}
+		checked++
+		// Find the smallest t with d^{(t)}(u,v) <= (1+eps)*exact by
+		// doubling then linear refinement on bounded Bellman-Ford.
+		target := (1 + eps) * exact
+		t := 1
+		for t <= union.N() {
+			if union.BoundedBellmanFord(p.u, t).Dist[p.v] <= target {
+				break
+			}
+			t *= 2
+		}
+		lo, hi := t/2, t
+		for lo+1 < hi {
+			mid := (lo + hi) / 2
+			if union.BoundedBellmanFord(p.u, mid).Dist[p.v] <= target {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		if hi > beta {
+			beta = hi
+		}
+	}
+	return beta, checked
+}
+
+// VerifyHopset checks the two-sided hopset inequality on sampled pairs of
+// virtual vertices: β-bounded distances over G'∪H never undercut the host
+// distance d_G (every hopset edge is a genuine host path - the property all
+// safety claims rely on) and reach (1+eps)·d_{G'} from above. Returns the
+// first violated pair, or (-1, -1) if all pass.
+func VerifyHopset(vg *VirtualGraph, hs *Hopset, eps float64, beta, pairs int, r *rand.Rand) (int, int) {
+	m := vg.M()
+	if m < 2 {
+		return -1, -1
+	}
+	gp, toVirt := vg.Materialize()
+	union := gp.Clone()
+	for _, e := range hs.Edges() {
+		ui, wi := toVirt[e.From], toVirt[e.To]
+		if ui >= 0 && wi >= 0 && !union.HasEdge(ui, wi) {
+			union.MustAddEdge(ui, wi, e.Weight)
+		}
+	}
+	members := vg.Members()
+	for i := 0; i < pairs; i++ {
+		u, v := members[r.Intn(m)], members[r.Intn(m)]
+		if u == v {
+			continue
+		}
+		ui, vi := toVirt[u], toVirt[v]
+		exactVirt := gp.Dijkstra(ui).Dist[vi]
+		if exactVirt == graph.Infinity {
+			continue
+		}
+		exactHost := vg.Host().Dijkstra(u).Dist[v]
+		got := union.BoundedBellmanFord(ui, beta).Dist[vi]
+		if got < exactHost-1e-9 || got > (1+eps)*exactVirt+1e-9 {
+			return u, v
+		}
+	}
+	return -1, -1
+}

@@ -1,0 +1,178 @@
+// Package router runs a built routing scheme as a live packet-forwarding
+// network: one goroutine per node, buffered channels as links, packets
+// carrying only their destination label - the routing phase of the paper
+// executed as real concurrent message passing rather than a host-side walk.
+//
+// Every node's goroutine knows nothing but its own routing table and its
+// link endpoints; each forwarding decision calls the same Thorup-Zwick rule
+// (clusterroute/treeroute NextHop) the simulator-side router uses. The
+// runtime has a managed lifecycle: Close stops every goroutine and waits
+// for them (no fire-and-forget).
+package router
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lowmemroute/internal/clusterroute"
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/treeroute"
+)
+
+// Packet is a message in flight: the destination label is its address; the
+// header carries the cluster tree chosen at the source; Trace accumulates
+// the vertex path for observability.
+type Packet struct {
+	Dst     clusterroute.Label
+	Root    int // cluster tree the packet travels in; NoVertex until chosen
+	Target  treeroute.Label
+	Trace   []int
+	done    chan Delivery
+	started time.Time
+}
+
+// Delivery reports a completed (or failed) packet.
+type Delivery struct {
+	Path    []int
+	Latency time.Duration
+	Err     error
+}
+
+// Network is a running packet-forwarding overlay.
+type Network struct {
+	scheme *clusterroute.Scheme
+	inbox  []chan *Packet
+	quit   chan struct{}
+	wg     sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+// ErrClosed is returned by Send after Close.
+var ErrClosed = errors.New("router: network closed")
+
+// queueDepth bounds each node's inbox; senders block when a node is
+// saturated (backpressure, like a real forwarding queue).
+const queueDepth = 64
+
+// New starts one forwarding goroutine per node of the scheme.
+func New(scheme *clusterroute.Scheme) *Network {
+	n := len(scheme.Tables)
+	net := &Network{
+		scheme: scheme,
+		inbox:  make([]chan *Packet, n),
+		quit:   make(chan struct{}),
+	}
+	for v := 0; v < n; v++ {
+		net.inbox[v] = make(chan *Packet, queueDepth)
+	}
+	for v := 0; v < n; v++ {
+		net.wg.Add(1)
+		go net.nodeLoop(v)
+	}
+	return net
+}
+
+// nodeLoop is one node's forwarding process.
+func (net *Network) nodeLoop(v int) {
+	defer net.wg.Done()
+	for {
+		select {
+		case <-net.quit:
+			return
+		case p := <-net.inbox[v]:
+			net.forward(v, p)
+		}
+	}
+}
+
+// forward makes one local routing decision and hands the packet on.
+func (net *Network) forward(v int, p *Packet) {
+	p.Trace = append(p.Trace, v)
+	if len(p.Trace) > 2*len(net.scheme.Tables)+2 {
+		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: ttl exceeded at %d", v)})
+		return
+	}
+	tab := net.scheme.Tables[v]
+
+	// Choose the cluster tree once, at the source: the lowest level whose
+	// pivot cluster contains both endpoints.
+	if p.Root == graph.NoVertex {
+		if p.Dst.Vertex == v {
+			p.finish(Delivery{Path: p.Trace})
+			return
+		}
+		for _, e := range p.Dst.Entries {
+			if !e.InCluster {
+				continue
+			}
+			if _, ok := tab.Trees[e.Root]; ok {
+				p.Root = e.Root
+				p.Target = e.TreeLabel
+				break
+			}
+		}
+		if p.Root == graph.NoVertex {
+			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: no common cluster at source %d", v)})
+			return
+		}
+	}
+
+	tt, ok := tab.Trees[p.Root]
+	if !ok {
+		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: node %d lacks tree %d", v, p.Root)})
+		return
+	}
+	next, arrived := treeroute.NextHop(v, tt, p.Target)
+	if arrived {
+		p.finish(Delivery{Path: p.Trace})
+		return
+	}
+	if next == graph.NoVertex {
+		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: dead end at %d", v)})
+		return
+	}
+	select {
+	case net.inbox[next] <- p:
+	case <-net.quit:
+		p.finish(Delivery{Path: p.Trace, Err: ErrClosed})
+	}
+}
+
+func (p *Packet) finish(d Delivery) {
+	d.Latency = time.Since(p.started)
+	p.done <- d
+}
+
+// Send injects a packet at src addressed to dst and blocks until delivery
+// (or failure). Safe for concurrent use.
+func (net *Network) Send(src, dst int) (Delivery, error) {
+	if src < 0 || src >= len(net.scheme.Tables) || dst < 0 || dst >= len(net.scheme.Labels) {
+		return Delivery{}, fmt.Errorf("router: endpoints (%d,%d) out of range", src, dst)
+	}
+	p := &Packet{
+		Dst:     net.scheme.Labels[dst],
+		Root:    graph.NoVertex,
+		done:    make(chan Delivery, 1),
+		started: time.Now(),
+	}
+	select {
+	case net.inbox[src] <- p:
+	case <-net.quit:
+		return Delivery{}, ErrClosed
+	}
+	select {
+	case d := <-p.done:
+		return d, d.Err
+	case <-net.quit:
+		return Delivery{}, ErrClosed
+	}
+}
+
+// Close stops all node goroutines and waits for them to exit. Idempotent.
+func (net *Network) Close() {
+	net.closeOnce.Do(func() { close(net.quit) })
+	net.wg.Wait()
+}

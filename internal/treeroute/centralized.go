@@ -1,0 +1,52 @@
+package treeroute
+
+import "lowmemroute/internal/graph"
+
+// BuildCentralized constructs the classical Thorup-Zwick tree-routing scheme
+// sequentially: tables of O(1) words and labels of O(log n) words, exact
+// routing. It is the correctness reference for the distributed
+// constructions and the "TZ01b" row of Table 2.
+func BuildCentralized(t *graph.Tree) *Scheme {
+	sizes := t.SubtreeSizes()
+	heavy := t.HeavyChildren()
+
+	s := &Scheme{
+		Root:   t.Root,
+		Tables: make(map[int]Table, t.Size()),
+		Labels: make(map[int]Label, t.Size()),
+	}
+
+	// Assign DFS ranges [in, in+size-1] with children visited in the
+	// tree's canonical (port) order, and accumulate light-edge lists along
+	// root paths. Iterative preorder keeps this robust on deep paths.
+	in := make(map[int]int, t.Size())
+	in[t.Root] = 1
+	light := make(map[int][]LightEdge, t.Size())
+	light[t.Root] = nil
+	for _, u := range t.PreOrder() {
+		start := in[u] + 1
+		for _, c := range t.Children(u) {
+			in[c] = start
+			start += sizes[c]
+			if c == heavy[u] {
+				light[c] = light[u]
+			} else {
+				parentList := light[u]
+				list := make([]LightEdge, len(parentList), len(parentList)+1)
+				copy(list, parentList)
+				light[c] = append(list, LightEdge{Parent: u, Child: c})
+			}
+		}
+	}
+
+	for _, v := range t.Members() {
+		s.Tables[v] = Table{
+			In:     in[v],
+			Out:    in[v] + sizes[v] - 1,
+			Parent: t.Parent(v),
+			Heavy:  heavy[v],
+		}
+		s.Labels[v] = Label{In: in[v], Light: light[v]}
+	}
+	return s
+}

@@ -1,0 +1,227 @@
+package treeroute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lowmemroute/internal/graph"
+)
+
+func sampleTree(t *testing.T) *graph.Tree {
+	t.Helper()
+	//        0
+	//      /   \
+	//     1     2
+	//    / \     \
+	//   3   4     5
+	//        \
+	//         6
+	tr, err := graph.NewTree(0, []int{graph.NoVertex, 0, 0, 1, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCentralizedSampleTreeExact(t *testing.T) {
+	tr := sampleTree(t)
+	s := BuildCentralized(tr)
+	if err := VerifyExact(s, tr, AllPairs(tr)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCentralizedTableIsO1(t *testing.T) {
+	tr := sampleTree(t)
+	s := BuildCentralized(tr)
+	if got := s.MaxTableWords(); got != 4 {
+		t.Fatalf("MaxTableWords=%d want 4", got)
+	}
+}
+
+func TestCentralizedLabelBound(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 17, 100, 500} {
+		g := graph.RandomTree(n, graph.UnitWeights, r)
+		tr, err := graph.SpanningTree(g, 0, "dfs", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := BuildCentralized(tr)
+		// Label = 1 + 2*lightEdges, lightEdges <= log2 n.
+		bound := 1 + 2*int(math.Ceil(math.Log2(float64(n))))
+		if got := s.MaxLabelWords(); got > bound {
+			t.Fatalf("n=%d: MaxLabelWords=%d exceeds bound %d", n, got, bound)
+		}
+	}
+}
+
+func TestCentralizedPathTreeExact(t *testing.T) {
+	// A path is the worst case for naive schemes: only heavy edges.
+	r := rand.New(rand.NewSource(2))
+	g := graph.Path(60, graph.UnitWeights, r)
+	tr, err := graph.SpanningTree(g, 0, "bfs", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildCentralized(tr)
+	if err := VerifyExact(s, tr, AllPairs(tr)); err != nil {
+		t.Fatal(err)
+	}
+	// On a path rooted at an end there are no light edges at all.
+	if got := s.MaxLabelWords(); got != 1 {
+		t.Fatalf("path label words=%d want 1", got)
+	}
+}
+
+func TestCentralizedStarTreeExact(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	g := graph.Star(40, graph.UnitWeights, r)
+	tr, err := graph.SpanningTree(g, 0, "bfs", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildCentralized(tr)
+	if err := VerifyExact(s, tr, AllPairs(tr)); err != nil {
+		t.Fatal(err)
+	}
+	// Star: every leaf but the heavy one is reached via one light edge.
+	if got := s.MaxLabelWords(); got != 3 {
+		t.Fatalf("star label words=%d want 3", got)
+	}
+}
+
+func TestCentralizedSingleVertex(t *testing.T) {
+	tr, err := graph.NewTree(0, []int{graph.NoVertex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildCentralized(tr)
+	path, err := s.Route(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0] != 0 {
+		t.Fatalf("path=%v", path)
+	}
+}
+
+func TestCentralizedSubsetTree(t *testing.T) {
+	// Tree over a subset of host ids {2, 5, 7, 9} in a host of size 12.
+	parent := make([]int, 12)
+	for i := range parent {
+		parent[i] = graph.NoVertex
+	}
+	parent[5] = 2
+	parent[7] = 2
+	parent[9] = 5
+	tr, err := graph.NewTree(2, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := BuildCentralized(tr)
+	if err := VerifyExact(s, tr, AllPairs(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Tables[0]; ok {
+		t.Fatal("non-member should have no table")
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	tr := sampleTree(t)
+	s := BuildCentralized(tr)
+	if _, err := s.Route(0, 99); err == nil {
+		t.Fatal("routing to unlabeled destination should fail")
+	}
+	// Corrupt the scheme: break vertex 4's interval to force a loop.
+	tab := s.Tables[4]
+	tab.In, tab.Out = 999, 999
+	s.Tables[4] = tab
+	if _, err := s.Route(3, 6); err == nil {
+		t.Fatal("corrupted scheme should be detected")
+	}
+}
+
+func TestNextHopRule(t *testing.T) {
+	tr := sampleTree(t)
+	s := BuildCentralized(tr)
+	tests := []struct {
+		name     string
+		at, dst  int
+		wantNext int
+	}{
+		{"descend heavy", 0, 6, 1},     // 1 is the heavy child of 0
+		{"descend light", 1, 3, 3},     // (1,3) is light
+		{"go up", 3, 6, 1},             // target outside subtree(3)
+		{"up through root", 5, 3, 2},   // 5 -> 2 -> 0 -> 1 -> 3
+		{"deliver next door", 4, 6, 6}, // direct child
+		{"up from deep leaf", 6, 0, 4}, // climbing
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			next, arrived := NextHop(tt.at, s.Tables[tt.at], s.Labels[tt.dst])
+			if arrived {
+				t.Fatal("should not have arrived")
+			}
+			if next != tt.wantNext {
+				t.Fatalf("next=%d want %d", next, tt.wantNext)
+			}
+		})
+	}
+	if _, arrived := NextHop(4, s.Tables[4], s.Labels[4]); !arrived {
+		t.Fatal("self-route should arrive immediately")
+	}
+}
+
+// Property: the centralized scheme routes exactly on random trees of random
+// shapes and random roots.
+func TestCentralizedExactProperty(t *testing.T) {
+	f := func(seed int64, sz uint8, rootRaw uint8) bool {
+		n := int(sz%120) + 2
+		r := rand.New(rand.NewSource(seed))
+		g := graph.RandomTree(n, graph.UnitWeights, r)
+		root := int(rootRaw) % n
+		tr, err := graph.SpanningTree(g, root, "dfs", r)
+		if err != nil {
+			return false
+		}
+		s := BuildCentralized(tr)
+		return VerifyExact(s, tr, SamplePairs(tr, 40, r)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DFS intervals form a laminar family consistent with the tree.
+func TestCentralizedIntervalProperty(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%100) + 2
+		r := rand.New(rand.NewSource(seed))
+		g := graph.RandomTree(n, graph.UnitWeights, r)
+		tr, err := graph.SpanningTree(g, 0, "bfs", r)
+		if err != nil {
+			return false
+		}
+		s := BuildCentralized(tr)
+		for _, v := range tr.Members() {
+			tab := s.Tables[v]
+			if p := tr.Parent(v); p != graph.NoVertex {
+				pt := s.Tables[p]
+				if tab.In <= pt.In || tab.Out > pt.Out {
+					return false
+				}
+			}
+			if tab.Out-tab.In+1 != tr.SubtreeSizes()[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package treeroute
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+// DistOptions configures the distributed low-memory construction.
+type DistOptions struct {
+	// Q is the portal sampling probability. Zero selects the paper's
+	// 1/sqrt(s*n) default, where s is the number of trees.
+	Q float64
+	// Seed drives portal sampling and start-time offsets.
+	Seed int64
+	// MaxOffset bounds the random start-time offsets used to de-congest
+	// parallel multi-tree construction. Zero selects the paper's
+	// O(sqrt(s*n)*log n) default when more than one tree is built, and no
+	// offsets for a single tree.
+	MaxOffset int
+}
+
+// DistResult carries the schemes built by BuildDistributed plus
+// construction-level statistics (simulation counters live on the Simulator).
+type DistResult struct {
+	Schemes []*Scheme
+	// Portals[j] is |U(T_j)|, the number of sampled portal vertices of
+	// tree j (including its root).
+	Portals []int
+	// Iterations is the number of pointer-jumping iterations executed per
+	// pointer-jumping stage.
+	Iterations int
+}
+
+// BuildDistributed runs the paper's Section 3 + Appendix A construction on
+// the given simulator for every tree in parallel: portal sampling, local
+// subtree sizes, pointer-jumped global sizes (Algorithm 1), local and global
+// light edges (Algorithms 2-3), sibling prefix sums and local DFS ranges
+// (Algorithms 4-5), and global DFS shifts (Algorithm 6). Each vertex uses
+// O(log n) words per tree; tables are O(1) and labels O(log n) words.
+func BuildDistributed(sim *congest.Simulator, trees []*graph.Tree, opts DistOptions) (*DistResult, error) {
+	if len(trees) == 0 {
+		return &DistResult{}, nil
+	}
+	n := sim.N()
+	for j, t := range trees {
+		if t.HostSize() != n {
+			return nil, fmt.Errorf("treeroute: tree %d host size %d != graph size %d", j, t.HostSize(), n)
+		}
+		for _, v := range t.Members() {
+			if p := t.Parent(v); p != graph.NoVertex && !sim.Graph().HasEdge(v, p) {
+				return nil, fmt.Errorf("treeroute: tree %d edge {%d,%d} is not a graph edge", j, v, p)
+			}
+		}
+	}
+
+	b := &distBuilder{
+		sim:   sim,
+		n:     n,
+		iters: pointerJumpIterations(n),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+	q := opts.Q
+	if q <= 0 || q > 1 {
+		q = 1 / math.Sqrt(float64(len(trees))*float64(n))
+	}
+	maxOffset := opts.MaxOffset
+	if maxOffset <= 0 && len(trees) > 1 {
+		maxOffset = int(math.Sqrt(float64(len(trees))*float64(n))*math.Log2(float64(n+1))) + 1
+	}
+
+	for j, t := range trees {
+		b.ts = append(b.ts, newTreeState(j, t, q, maxOffset, b.rng))
+	}
+
+	// The cap is generous: local phases are bounded by tree height times
+	// list transmission time; hitting the cap means a bug, not load.
+	b.cap = 16*n*(b.iters+2) + 64*b.iters + 4096
+
+	if err := b.phaseLocalRoots(); err != nil {
+		return nil, err
+	}
+	if err := b.phaseLocalSizes(); err != nil {
+		return nil, err
+	}
+	b.phaseGlobalSizes()
+	if err := b.phaseSizesDown(); err != nil {
+		return nil, err
+	}
+	if err := b.phaseLocalLight(); err != nil {
+		return nil, err
+	}
+	b.phaseGlobalLight()
+	if err := b.phaseLightDown(); err != nil {
+		return nil, err
+	}
+	if err := b.phaseLocalDFS(); err != nil {
+		return nil, err
+	}
+	b.phaseGlobalShifts()
+	if err := b.phaseShiftsDown(); err != nil {
+		return nil, err
+	}
+
+	res := &DistResult{Iterations: b.iters}
+	for _, st := range b.ts {
+		res.Schemes = append(res.Schemes, st.finish())
+		res.Portals = append(res.Portals, st.portals())
+	}
+	return res, nil
+}
+
+func pointerJumpIterations(n int) int {
+	it := 1
+	for 1<<it < n {
+		it++
+	}
+	return it + 1
+}
+
+// treeState is the per-tree slice of every member vertex's local memory,
+// indexed by local member index (position in tree.Members()) so that host
+// memory stays proportional to the tree size, not the graph size. A vertex
+// only ever reads and writes its own index, which keeps the per-round
+// goroutine pool race-free.
+type treeState struct {
+	idx    int
+	tree   *graph.Tree
+	offset int
+	loc    map[int]int // host vertex -> local index
+	verts  []int       // local index -> host vertex (= tree.Members())
+
+	inU        []bool
+	localRoot  []int
+	virtParent []int // p'(x) for portals (host ids)
+	pending    []int // outstanding child reports in convergecasts
+	acc        []int // running sum in convergecasts
+	size       []int // s_y: global subtree size in T
+	heavy      []int // host id
+	heavyBest  []int // best child size seen so far
+
+	anc [][]int // anc[l][i] = a_i (host id) for portals
+	pjS []int   // s_i(x) during Algorithm 1
+	pjA []int   // a_i(x) during Algorithm 1 (host id)
+
+	lightLocal  [][]LightEdge // light edges from the local root to v
+	lightGlobal [][]LightEdge // for portals: light edges from the tree root
+	fullLight   [][]LightEdge
+
+	sibIdx   []int // 1-based index among siblings
+	lowSum   []int // prefix adds with iteration < tz(sibIdx)
+	highSum  []int // prefix adds with iteration >= tz(sibIdx)
+	addMask  []int // bitmask of iterations whose add arrived
+	sentAdd  []bool
+	localIn  []int // DFS entry time in the local frame
+	qShift   []int // q_x: enclosing-frame range start minus one (portals)
+	shift    []int // final accumulated shift
+	haveIn   []bool
+	haveQ    []bool
+	dfsDone  []bool
+	kicked   []bool
+	finalIn  []int
+	finalOut []int
+
+	// Per-iteration scratch for the pointer-jumping stages (commit targets
+	// so broadcast handling stays synchronous).
+	tmpA []int
+	tmpS []int
+	tmpQ []int
+	tmpL [][]LightEdge
+}
+
+func newTreeState(idx int, t *graph.Tree, q float64, maxOffset int, rng *rand.Rand) *treeState {
+	m := t.Size()
+	st := &treeState{
+		idx:         idx,
+		tree:        t,
+		loc:         make(map[int]int, m),
+		verts:       t.Members(),
+		inU:         make([]bool, m),
+		localRoot:   make([]int, m),
+		virtParent:  make([]int, m),
+		pending:     make([]int, m),
+		acc:         make([]int, m),
+		size:        make([]int, m),
+		heavy:       make([]int, m),
+		heavyBest:   make([]int, m),
+		anc:         make([][]int, m),
+		pjS:         make([]int, m),
+		pjA:         make([]int, m),
+		lightLocal:  make([][]LightEdge, m),
+		lightGlobal: make([][]LightEdge, m),
+		fullLight:   make([][]LightEdge, m),
+		sibIdx:      make([]int, m),
+		lowSum:      make([]int, m),
+		highSum:     make([]int, m),
+		addMask:     make([]int, m),
+		sentAdd:     make([]bool, m),
+		localIn:     make([]int, m),
+		qShift:      make([]int, m),
+		shift:       make([]int, m),
+		haveIn:      make([]bool, m),
+		haveQ:       make([]bool, m),
+		dfsDone:     make([]bool, m),
+		kicked:      make([]bool, m),
+		finalIn:     make([]int, m),
+		finalOut:    make([]int, m),
+	}
+	for l, v := range st.verts {
+		st.loc[v] = l
+	}
+	for l := range st.localRoot {
+		st.localRoot[l] = graph.NoVertex
+		st.virtParent[l] = graph.NoVertex
+		st.heavy[l] = graph.NoVertex
+		st.heavyBest[l] = -1
+		st.pjA[l] = graph.NoVertex
+	}
+	if maxOffset > 0 {
+		st.offset = rng.Intn(maxOffset)
+	}
+	for l, v := range st.verts {
+		if v == t.Root || rng.Float64() < q {
+			st.inU[l] = true
+		}
+	}
+	return st
+}
+
+// l returns v's local index; v must be a member.
+func (st *treeState) l(v int) int { return st.loc[v] }
+
+// member reports membership and returns the local index.
+func (st *treeState) memberIdx(v int) (int, bool) {
+	l, ok := st.loc[v]
+	return l, ok
+}
+
+func (st *treeState) portals() int {
+	c := 0
+	for l := range st.verts {
+		if st.inU[l] {
+			c++
+		}
+	}
+	return c
+}
+
+// finish assembles the Scheme from per-vertex state.
+func (st *treeState) finish() *Scheme {
+	s := &Scheme{
+		Root:   st.tree.Root,
+		Tables: make(map[int]Table, len(st.verts)),
+		Labels: make(map[int]Label, len(st.verts)),
+	}
+	for l, v := range st.verts {
+		s.Tables[v] = Table{
+			In:     st.finalIn[l],
+			Out:    st.finalOut[l],
+			Parent: st.tree.Parent(v),
+			Heavy:  st.heavy[l],
+		}
+		s.Labels[v] = Label{In: st.finalIn[l], Light: st.fullLight[l]}
+	}
+	return s
+}
+
+type distBuilder struct {
+	sim   *congest.Simulator
+	n     int
+	iters int
+	cap   int
+	rng   *rand.Rand
+	ts    []*treeState
+}
+
+// runPhase wraps Simulator.Run with convergence detection.
+func (b *distBuilder) runPhase(name string, initial []int, step congest.StepFunc) error {
+	if b.sim.Run(initial, b.cap, step) >= b.cap {
+		return fmt.Errorf("treeroute: phase %q did not converge within %d rounds", name, b.cap)
+	}
+	return nil
+}
+
+// union returns the deduplicated initial activation set for a predicate over
+// (tree, local index).
+func (b *distBuilder) union(pred func(st *treeState, l int) bool) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, st := range b.ts {
+		for l, v := range st.verts {
+			if !seen[v] && pred(st, l) {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}

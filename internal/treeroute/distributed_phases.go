@@ -1,0 +1,630 @@
+package treeroute
+
+import (
+	"fmt"
+	"math/bits"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+// Message payloads. Every payload carries its tree index t; word counts
+// include it (a tree id is an identity, one word in the CONGEST RAM model).
+type (
+	pRoot  struct{ t, root int } // phase A: local-tree flood
+	pSize  struct{ t, size int } // phases B and D: convergecasts
+	pLight struct {              // phase E: local light lists
+		t     int
+		light bool
+		list  []LightEdge
+	}
+	pGLight struct { // phase G: global light flood
+		t    int
+		list []LightEdge
+	}
+	pIdx   struct{ t, idx int }       // phase H: sibling index
+	pAdd   struct{ t, idx, val int }  // phase H: prefix add, child->parent
+	pFwd   struct{ t, iter, val int } // phase H: prefix add, parent->targets
+	pRange struct{ t, a int }         // phase H: parent's DFS range start
+	pShift struct{ t, shift int }     // phase J: final shift flood
+
+	bSize  struct{ t, x, a, s int } // Algorithm 1 broadcast
+	bLight struct {                 // Algorithm 3 broadcast
+		t, x int
+		list []LightEdge
+	}
+	bShift struct{ t, x, q int } // Algorithm 6 broadcast
+)
+
+func lightWords(list []LightEdge) int { return 2 * len(list) }
+
+// phaseLocalRoots implements the first flood of Section 3.1: every portal
+// announces itself down its local tree; portal children in the virtual tree
+// T' learn their virtual parent p'(x).
+func (b *distBuilder) phaseLocalRoots() error {
+	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
+	return b.runPhase("local-roots", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				st.localRoot[l] = v
+				ctx.Mem().Charge(1)
+				for _, c := range st.tree.Children(v) {
+					ctx.Send(c, pRoot{t: st.idx, root: v}, 2)
+				}
+			}
+		}
+		for _, m := range ctx.In() {
+			p, ok := m.Payload.(pRoot)
+			if !ok {
+				continue
+			}
+			st := b.ts[p.t]
+			l := st.l(v)
+			if st.inU[l] {
+				st.virtParent[l] = p.root
+				ctx.Mem().Charge(1)
+				continue
+			}
+			st.localRoot[l] = p.root
+			ctx.Mem().Charge(1)
+			for _, c := range st.tree.Children(v) {
+				ctx.Send(c, p, 2)
+			}
+		}
+	})
+}
+
+// phaseLocalSizes implements the local convergecast of Section 3.1: each
+// vertex reports the size of its subtree within its local tree; portal
+// children report 0 (their subtrees belong to their own local trees).
+func (b *distBuilder) phaseLocalSizes() error {
+	for _, st := range b.ts {
+		for l, v := range st.verts {
+			st.pending[l] = len(st.tree.Children(v))
+			st.acc[l] = 1
+		}
+	}
+	complete := func(st *treeState, v, l int, ctx *congest.Ctx) {
+		if st.inU[l] {
+			st.pjS[l] = st.acc[l] // s_0(x) = |T_x|
+			ctx.Mem().Charge(1)
+			if v != st.tree.Root {
+				ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: 0}, 2)
+			}
+			return
+		}
+		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, 2)
+	}
+	initial := b.union(func(st *treeState, l int) bool { return st.pending[l] == 0 })
+	return b.runPhase("local-sizes", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || st.pending[l] != 0 || st.kicked[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				st.kicked[l] = true
+				complete(st, v, l, ctx)
+			}
+		}
+		for _, m := range ctx.In() {
+			p, ok := m.Payload.(pSize)
+			if !ok {
+				continue
+			}
+			st := b.ts[p.t]
+			l := st.l(v)
+			st.acc[l] += p.size
+			st.pending[l]--
+			if st.pending[l] == 0 {
+				complete(st, v, l, ctx)
+			}
+		}
+	})
+}
+
+// phaseGlobalSizes is Algorithm 1: pointer jumping over broadcasts computes
+// every portal's global subtree size s_x and its 2^i-ancestor table.
+func (b *distBuilder) phaseGlobalSizes() {
+	for _, st := range b.ts {
+		st.tmpA = make([]int, len(st.verts))
+		st.tmpS = make([]int, len(st.verts))
+		for l, v := range st.verts {
+			if st.inU[l] {
+				st.pjA[l] = st.virtParent[l] // a_0(x) = p'(x)
+				st.anc[l] = make([]int, b.iters+1)
+				st.anc[l][0] = st.pjA[l]
+				b.sim.Mem(v).Charge(int64(b.iters) + 1)
+			}
+		}
+	}
+	for i := 0; i < b.iters; i++ {
+		var msgs []congest.BroadcastMsg
+		for _, st := range b.ts {
+			for l, v := range st.verts {
+				if st.inU[l] {
+					st.tmpA[l] = st.pjA[l]
+					st.tmpS[l] = 0
+					msgs = append(msgs, congest.BroadcastMsg{
+						Origin:  v,
+						Payload: bSize{t: st.idx, x: v, a: st.pjA[l], s: st.pjS[l]},
+						Words:   4,
+					})
+				}
+			}
+		}
+		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
+			p := m.Payload.(bSize)
+			st := b.ts[p.t]
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] {
+				return
+			}
+			if st.pjA[l] == p.x {
+				st.tmpA[l] = p.a // a_{i+1}(v) = a_i(a_i(v))
+			}
+			if p.a == v {
+				st.tmpS[l] += p.s // w with a_i(w) = v contributes s_i(w)
+			}
+		})
+		for _, st := range b.ts {
+			for l := range st.verts {
+				if st.inU[l] {
+					st.pjA[l] = st.tmpA[l]
+					st.pjS[l] += st.tmpS[l]
+					st.anc[l][i+1] = st.pjA[l]
+				}
+			}
+		}
+	}
+	for _, st := range b.ts {
+		for l, v := range st.verts {
+			if st.inU[l] {
+				st.size[l] = st.pjS[l]
+				b.sim.Mem(v).Charge(1)
+			}
+		}
+	}
+}
+
+// phaseSizesDown completes Stage 1: portals push their (now global) sizes to
+// their tree parents, local convergecasts recompute every vertex's global
+// subtree size, and every vertex learns its heavy child on the fly.
+func (b *distBuilder) phaseSizesDown() error {
+	for _, st := range b.ts {
+		for l, v := range st.verts {
+			st.pending[l] = len(st.tree.Children(v))
+			st.acc[l] = 1
+			st.kicked[l] = false
+		}
+	}
+	complete := func(st *treeState, v, l int, ctx *congest.Ctx) {
+		if st.inU[l] {
+			// Sanity: the convergecast must agree with Algorithm 1.
+			if st.acc[l] != st.size[l] {
+				panic(fmt.Sprintf("treeroute: tree %d portal %d: convergecast size %d != pointer-jump size %d",
+					st.idx, v, st.acc[l], st.size[l]))
+			}
+			return // the portal announced its size at kickoff already
+		}
+		st.size[l] = st.acc[l]
+		ctx.Mem().Charge(1)
+		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, 2)
+	}
+	kick := func(st *treeState, l int) bool {
+		return (st.inU[l] && st.verts[l] != st.tree.Root) || st.pending[l] == 0
+	}
+	initial := b.union(kick)
+	return b.runPhase("sizes-down", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || !kick(st, l) || st.kicked[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				st.kicked[l] = true
+				if st.inU[l] && v != st.tree.Root {
+					ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.size[l]}, 2)
+				}
+				if st.pending[l] == 0 {
+					complete(st, v, l, ctx)
+				}
+			}
+		}
+		for _, m := range ctx.In() {
+			p, ok := m.Payload.(pSize)
+			if !ok {
+				continue
+			}
+			st := b.ts[p.t]
+			l := st.l(v)
+			// Tie-break toward the smaller child id so the choice is
+			// independent of report arrival order (and matches the
+			// centralized reference).
+			if p.size > st.heavyBest[l] ||
+				(p.size == st.heavyBest[l] && m.From < st.heavy[l]) {
+				st.heavyBest[l] = p.size
+				st.heavy[l] = m.From
+				ctx.Mem().Charge(1)
+			}
+			st.acc[l] += p.size
+			st.pending[l]--
+			if st.pending[l] == 0 {
+				complete(st, v, l, ctx)
+			}
+		}
+	})
+}
+
+// phaseLocalLight is Algorithm 2: flood light-edge lists down each local
+// tree; portal children keep the received list as L_0 for Algorithm 3.
+func (b *distBuilder) phaseLocalLight() error {
+	forward := func(st *treeState, v, l int, list []LightEdge, ctx *congest.Ctx) {
+		for _, c := range st.tree.Children(v) {
+			ctx.Send(c, pLight{t: st.idx, light: c != st.heavy[l], list: list},
+				3+lightWords(list))
+		}
+	}
+	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
+	return b.runPhase("local-light", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				st.lightLocal[l] = []LightEdge{}
+				if v == st.tree.Root {
+					st.lightGlobal[l] = []LightEdge{}
+				}
+				forward(st, v, l, nil, ctx)
+			}
+		}
+		for _, m := range ctx.In() {
+			p, ok := m.Payload.(pLight)
+			if !ok {
+				continue
+			}
+			st := b.ts[p.t]
+			l := st.l(v)
+			list := p.list
+			if p.light {
+				list = append(append(make([]LightEdge, 0, len(p.list)+1), p.list...),
+					LightEdge{Parent: m.From, Child: v})
+			}
+			if st.inU[l] {
+				st.lightGlobal[l] = list // L_0(v): lights from p'(v) to v
+				ctx.Mem().Charge(int64(lightWords(list)))
+				continue
+			}
+			st.lightLocal[l] = list
+			ctx.Mem().Charge(int64(lightWords(list)))
+			forward(st, v, l, list, ctx)
+		}
+	})
+}
+
+// phaseGlobalLight is Algorithm 3: pointer jumping assembles, for every
+// portal, the light edges on its full root path.
+func (b *distBuilder) phaseGlobalLight() {
+	for _, st := range b.ts {
+		st.tmpL = make([][]LightEdge, len(st.verts))
+	}
+	for i := 0; i < b.iters; i++ {
+		var msgs []congest.BroadcastMsg
+		for _, st := range b.ts {
+			for l, v := range st.verts {
+				if st.inU[l] {
+					st.tmpL[l] = nil
+					msgs = append(msgs, congest.BroadcastMsg{
+						Origin:  v,
+						Payload: bLight{t: st.idx, x: v, list: st.lightGlobal[l]},
+						Words:   3 + lightWords(st.lightGlobal[l]),
+					})
+				}
+			}
+		}
+		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
+			p := m.Payload.(bLight)
+			st := b.ts[p.t]
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] || st.anc[l][i] != p.x {
+				return
+			}
+			// L_{i+1}(v) = L_i(a_i(v)) ++ L_i(v)
+			merged := make([]LightEdge, 0, len(p.list)+len(st.lightGlobal[l]))
+			merged = append(merged, p.list...)
+			merged = append(merged, st.lightGlobal[l]...)
+			st.tmpL[l] = merged
+		})
+		for _, st := range b.ts {
+			for l, v := range st.verts {
+				if st.inU[l] && st.anc[l][i] != graph.NoVertex {
+					grow := lightWords(st.tmpL[l]) - lightWords(st.lightGlobal[l])
+					st.lightGlobal[l] = st.tmpL[l]
+					b.sim.Mem(v).Charge(int64(grow))
+				}
+			}
+		}
+	}
+}
+
+// phaseLightDown completes Stage 2: each portal floods its global light list
+// down its local tree; every vertex's final list is the portal's global list
+// followed by its own local list.
+func (b *distBuilder) phaseLightDown() error {
+	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
+	return b.runPhase("light-down", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				st.fullLight[l] = st.lightGlobal[l]
+				for _, c := range st.tree.Children(v) {
+					ctx.Send(c, pGLight{t: st.idx, list: st.lightGlobal[l]},
+						2+lightWords(st.lightGlobal[l]))
+				}
+			}
+		}
+		for _, m := range ctx.In() {
+			p, ok := m.Payload.(pGLight)
+			if !ok {
+				continue
+			}
+			st := b.ts[p.t]
+			l := st.l(v)
+			if st.inU[l] {
+				continue
+			}
+			full := make([]LightEdge, 0, len(p.list)+len(st.lightLocal[l]))
+			full = append(full, p.list...)
+			full = append(full, st.lightLocal[l]...)
+			st.fullLight[l] = full
+			ctx.Mem().Charge(int64(lightWords(p.list)))
+			for _, c := range st.tree.Children(v) {
+				ctx.Send(c, p, 2+lightWords(p.list))
+			}
+		}
+	})
+}
+
+// phaseLocalDFS implements Algorithms 4 and 5 event-driven: parents hand
+// each child its sibling index, children exchange prefix sums of subtree
+// sizes through their parent in a binary-doubling pattern (the parent only
+// relays, storing nothing), and DFS range starts flow down each local tree.
+// Portals record the range start assigned by the enclosing frame as their
+// shift seed q_x.
+func (b *distBuilder) phaseLocalDFS() error {
+	maybeSendAdd := func(st *treeState, v, l int, ctx *congest.Ctx) {
+		if st.sentAdd[l] || st.sibIdx[l] == 0 {
+			return
+		}
+		tz := bits.TrailingZeros(uint(st.sibIdx[l]))
+		lowMask := (1 << tz) - 1
+		if st.addMask[l]&lowMask != lowMask {
+			return
+		}
+		st.sentAdd[l] = true
+		ctx.Send(st.tree.Parent(v), pAdd{t: st.idx, idx: st.sibIdx[l], val: st.size[l] + st.lowSum[l]}, 3)
+	}
+	maybeComplete := func(st *treeState, v, l int, ctx *congest.Ctx) {
+		if st.dfsDone[l] {
+			return
+		}
+		if st.sibIdx[l] == 0 || !st.haveQ[l] || st.addMask[l] != st.sibIdx[l]-1 {
+			return
+		}
+		st.dfsDone[l] = true
+		// Prefix S(y_j) = own size + all sibling adds; our range starts at
+		// a + 1 + (S - size) where a is the parent's range start.
+		start := st.qShift[l] + 1 + st.lowSum[l] + st.highSum[l]
+		if st.inU[l] {
+			st.qShift[l] = start - 1 // q_x for Algorithm 6
+			return
+		}
+		st.localIn[l] = start
+		st.haveIn[l] = true
+		ctx.Mem().Charge(2)
+		for _, c := range st.tree.Children(v) {
+			ctx.Send(c, pRange{t: st.idx, a: start}, 2)
+		}
+	}
+	kick := func(st *treeState, l int) bool {
+		return st.inU[l] || len(st.tree.Children(st.verts[l])) > 0
+	}
+	for _, st := range b.ts {
+		for l := range st.verts {
+			st.kicked[l] = false
+		}
+	}
+	initial := b.union(kick)
+	return b.runPhase("local-dfs", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || !kick(st, l) || st.kicked[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				st.kicked[l] = true
+				for i, c := range st.tree.Children(v) {
+					ctx.Send(c, pIdx{t: st.idx, idx: i + 1}, 2)
+				}
+				if st.inU[l] {
+					st.localIn[l] = 1
+					st.haveIn[l] = true
+					ctx.Mem().Charge(2)
+					if v == st.tree.Root {
+						st.haveQ[l] = true // q_z = 0
+					}
+					for _, c := range st.tree.Children(v) {
+						ctx.Send(c, pRange{t: st.idx, a: 1}, 2)
+					}
+				}
+			}
+		}
+		for _, m := range ctx.In() {
+			switch p := m.Payload.(type) {
+			case pIdx:
+				st := b.ts[p.t]
+				l := st.l(v)
+				st.sibIdx[l] = p.idx
+				ctx.Mem().Charge(1)
+				maybeSendAdd(st, v, l, ctx)
+				maybeComplete(st, v, l, ctx)
+			case pAdd:
+				// Pure relay (Algorithm 5's parent role): forward the add to
+				// the 2^i siblings following the sender, storing nothing.
+				st := b.ts[p.t]
+				i := bits.TrailingZeros(uint(p.idx))
+				children := st.tree.Children(v)
+				for tgt := p.idx + 1; tgt <= p.idx+(1<<i) && tgt <= len(children); tgt++ {
+					ctx.Send(children[tgt-1], pFwd{t: p.t, iter: i, val: p.val}, 3)
+				}
+			case pFwd:
+				st := b.ts[p.t]
+				l := st.l(v)
+				if st.sibIdx[l] == 0 {
+					panic(fmt.Sprintf("treeroute: vertex %d got prefix add before its index (tree %d)", v, p.t))
+				}
+				tz := bits.TrailingZeros(uint(st.sibIdx[l]))
+				if p.iter < tz {
+					st.lowSum[l] += p.val
+				} else {
+					st.highSum[l] += p.val
+				}
+				st.addMask[l] |= 1 << p.iter
+				maybeSendAdd(st, v, l, ctx)
+				maybeComplete(st, v, l, ctx)
+			case pRange:
+				st := b.ts[p.t]
+				l := st.l(v)
+				st.qShift[l] = p.a
+				st.haveQ[l] = true
+				ctx.Mem().Charge(1)
+				maybeComplete(st, v, l, ctx)
+			}
+		}
+	})
+}
+
+// phaseGlobalShifts is Algorithm 6: pointer jumping accumulates, for every
+// portal, the total DFS shift induced by its portal ancestors.
+func (b *distBuilder) phaseGlobalShifts() {
+	for _, st := range b.ts {
+		st.tmpQ = make([]int, len(st.verts))
+		for l, v := range st.verts {
+			if st.inU[l] {
+				if v != st.tree.Root && !st.dfsDone[l] {
+					panic(fmt.Sprintf("treeroute: portal %d of tree %d has no shift seed", v, st.idx))
+				}
+				st.shift[l] = st.qShift[l]
+				if v == st.tree.Root {
+					st.shift[l] = 0
+				}
+				b.sim.Mem(v).Charge(1)
+			}
+		}
+	}
+	for i := 0; i < b.iters; i++ {
+		var msgs []congest.BroadcastMsg
+		for _, st := range b.ts {
+			for l, v := range st.verts {
+				if st.inU[l] {
+					st.tmpQ[l] = 0
+					msgs = append(msgs, congest.BroadcastMsg{
+						Origin:  v,
+						Payload: bShift{t: st.idx, x: v, q: st.shift[l]},
+						Words:   3,
+					})
+				}
+			}
+		}
+		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
+			p := m.Payload.(bShift)
+			st := b.ts[p.t]
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] || st.anc[l][i] != p.x {
+				return
+			}
+			st.tmpQ[l] = p.q // q_i(a_i(v))
+		})
+		for _, st := range b.ts {
+			for l := range st.verts {
+				if st.inU[l] {
+					st.shift[l] += st.tmpQ[l]
+				}
+			}
+		}
+	}
+}
+
+// phaseShiftsDown completes Stage 3: each portal floods its accumulated
+// shift down its local tree and every vertex finalises its DFS interval.
+func (b *distBuilder) phaseShiftsDown() error {
+	finalize := func(st *treeState, l, shift int, ctx *congest.Ctx) {
+		st.finalIn[l] = st.localIn[l] + shift
+		st.finalOut[l] = st.finalIn[l] + st.size[l] - 1
+		ctx.Mem().Charge(2)
+	}
+	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
+	err := b.runPhase("shifts-down", initial, func(v int, ctx *congest.Ctx) {
+		for _, st := range b.ts {
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] {
+				continue
+			}
+			if ctx.Round() < st.offset {
+				ctx.Wake()
+			} else if ctx.Round() == st.offset {
+				finalize(st, l, st.shift[l], ctx)
+				for _, c := range st.tree.Children(v) {
+					ctx.Send(c, pShift{t: st.idx, shift: st.shift[l]}, 2)
+				}
+			}
+		}
+		for _, m := range ctx.In() {
+			p, ok := m.Payload.(pShift)
+			if !ok {
+				continue
+			}
+			st := b.ts[p.t]
+			l := st.l(v)
+			if st.inU[l] {
+				continue
+			}
+			finalize(st, l, p.shift, ctx)
+			for _, c := range st.tree.Children(v) {
+				ctx.Send(c, p, 2)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for _, st := range b.ts {
+		for l, v := range st.verts {
+			if !st.haveIn[l] && !st.inU[l] {
+				return fmt.Errorf("treeroute: tree %d vertex %d never received a DFS range", st.idx, v)
+			}
+		}
+	}
+	return nil
+}

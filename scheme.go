@@ -1,0 +1,270 @@
+package lowmemroute
+
+import (
+	"fmt"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/core"
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/router"
+	"lowmemroute/internal/treeroute"
+	"lowmemroute/internal/wire"
+)
+
+// Config configures Build.
+type Config struct {
+	// K is the stretch parameter: stretch is at most 4K-3+o(1), tables
+	// shrink as Õ(n^{1/K}). K=1 gives exact shortest-path routing with
+	// linear tables. Must be >= 1.
+	K int
+	// Epsilon is the approximation slack of the construction's high
+	// levels (default 0.05; the o(1) stretch term grows with it).
+	Epsilon float64
+	// Seed drives all randomness; equal seeds give identical schemes.
+	Seed int64
+}
+
+// Report summarises the distributed construction's cost in the CONGEST
+// model: synchronous rounds, messages, and per-node memory high-water marks.
+type Report struct {
+	Rounds      int64
+	Messages    int64
+	Words       int64
+	PeakMemory  int64   // max words held by any node at any time
+	AvgMemory   float64 // mean per-node peak
+	HopDiameter int     // the D used for broadcast accounting
+
+	// Scheme-level quantities (Theorem 3's parameters, measured).
+	MaxTableWords      int
+	MaxLabelWords      int
+	MaxClustersPerNode int
+	HopsetEdges        int
+	HopsetArboricity   int
+	BetaRealised       int
+
+	// PhaseRounds breaks Rounds down by construction phase.
+	PhaseRounds map[string]int64
+}
+
+// Path is a routed walk through the network.
+type Path struct {
+	Nodes  []int
+	Weight float64
+}
+
+// Hops returns the number of links crossed.
+func (p Path) Hops() int { return len(p.Nodes) - 1 }
+
+// Scheme is a compact routing scheme for a general network, built by the
+// paper's low-memory distributed construction.
+type Scheme struct {
+	inner  *core.Scheme
+	report Report
+}
+
+// Build runs the full distributed construction of Theorem 3 on a simulated
+// CONGEST network and returns the routing scheme plus its cost report.
+func Build(net *Network, cfg Config) (*Scheme, error) {
+	if net == nil {
+		return nil, fmt.Errorf("lowmemroute: nil network")
+	}
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("lowmemroute: K=%d < 1", cfg.K)
+	}
+	if net.Nodes() > 1 && !net.Connected() {
+		return nil, fmt.Errorf("lowmemroute: network is not connected")
+	}
+	sim := congest.New(net.g, congest.WithSeed(cfg.Seed))
+	s, err := core.Build(sim, core.Options{
+		K:       cfg.K,
+		Epsilon: cfg.Epsilon,
+		Seed:    cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scheme{
+		inner: s,
+		report: Report{
+			Rounds:             sim.Rounds(),
+			Messages:           sim.Messages(),
+			Words:              sim.Words(),
+			PeakMemory:         sim.PeakMemory(),
+			AvgMemory:          sim.AvgPeakMemory(),
+			HopDiameter:        sim.Diameter(),
+			MaxTableWords:      s.MaxTableWords(),
+			MaxLabelWords:      s.MaxLabelWords(),
+			MaxClustersPerNode: s.MaxClustersPerVertex(),
+			HopsetEdges:        s.Stats.HopsetEdges,
+			HopsetArboricity:   s.Stats.HopsetArbor,
+			BetaRealised:       s.Stats.BetaRealised,
+			PhaseRounds:        s.Stats.PhaseRounds,
+		},
+	}, nil
+}
+
+// Route forwards a message from src to dst using only src's table, dst's
+// label, and the tables of intermediate nodes - exactly the routing phase
+// of the scheme.
+func (s *Scheme) Route(src, dst int) (Path, error) {
+	nodes, w, err := s.inner.Route(src, dst)
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{Nodes: nodes, Weight: w}, nil
+}
+
+// Report returns the construction cost report.
+func (s *Scheme) Report() Report { return s.report }
+
+// TableWords returns node v's routing table size in words.
+func (s *Scheme) TableWords(v int) int { return s.inner.Tables[v].Words() }
+
+// LabelWords returns node v's routing label size in words.
+func (s *Scheme) LabelWords(v int) int { return s.inner.Labels[v].Words() }
+
+// EncodedLabel returns node v's routing label in its compact varint wire
+// encoding - the bytes a packet would carry as its destination address.
+func (s *Scheme) EncodedLabel(v int) []byte { return wire.EncodeLabel(s.inner.Labels[v]) }
+
+// EncodedTable returns node v's routing table in its compact varint wire
+// encoding - the bytes the node persists as routing state.
+func (s *Scheme) EncodedTable(v int) []byte { return wire.EncodeTable(s.inner.Tables[v]) }
+
+// PacketNetwork is a live packet-forwarding overlay running the scheme:
+// one goroutine per node, channels as links, packets addressed by labels.
+type PacketNetwork struct {
+	inner *router.Network
+}
+
+// Serve starts the scheme as a concurrent packet-forwarding network. Call
+// Close when done; Send blocks until delivery and is safe for concurrent
+// use.
+func (s *Scheme) Serve() *PacketNetwork {
+	return &PacketNetwork{inner: router.New(s.inner.Scheme)}
+}
+
+// Send injects a packet at src addressed to dst and returns its delivery
+// path.
+func (p *PacketNetwork) Send(src, dst int) (Path, error) {
+	d, err := p.inner.Send(src, dst)
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{Nodes: d.Path}, nil
+}
+
+// Close stops all forwarding goroutines and waits for them.
+func (p *PacketNetwork) Close() { p.inner.Close() }
+
+// TreeConfig configures BuildTree.
+type TreeConfig struct {
+	// Seed drives portal sampling.
+	Seed int64
+}
+
+// TreeReport summarises a tree-routing construction.
+type TreeReport struct {
+	Rounds        int64
+	Messages      int64
+	PeakMemory    int64
+	AvgMemory     float64
+	Portals       int
+	MaxTableWords int
+	MaxLabelWords int
+}
+
+// TreeScheme is an exact compact routing scheme for a tree embedded in a
+// network (Theorem 2: O(1)-word tables, O(log n)-word labels, O(log n)
+// construction memory, Õ(√n + D) rounds).
+type TreeScheme struct {
+	inner  *treeroute.Scheme
+	tree   *Tree
+	report TreeReport
+}
+
+// BuildTree runs the paper's distributed tree-routing construction for one
+// tree embedded in the network.
+func BuildTree(net *Network, tree *Tree, cfg TreeConfig) (*TreeScheme, error) {
+	if net == nil || tree == nil {
+		return nil, fmt.Errorf("lowmemroute: nil network or tree")
+	}
+	sim := congest.New(net.g, congest.WithSeed(cfg.Seed))
+	res, err := treeroute.BuildDistributed(sim, []*graph.Tree{tree.t}, treeroute.DistOptions{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return &TreeScheme{
+		inner: res.Schemes[0],
+		tree:  tree,
+		report: TreeReport{
+			Rounds:        sim.Rounds(),
+			Messages:      sim.Messages(),
+			PeakMemory:    sim.PeakMemory(),
+			AvgMemory:     sim.AvgPeakMemory(),
+			Portals:       res.Portals[0],
+			MaxTableWords: res.Schemes[0].MaxTableWords(),
+			MaxLabelWords: res.Schemes[0].MaxLabelWords(),
+		},
+	}, nil
+}
+
+// BuildTrees runs the distributed tree-routing construction for several
+// trees of the same network in parallel (the second assertion of Theorem 2):
+// with s overlapping trees, the parallel build costs Õ(√(sn) + D) rounds -
+// a √s factor below building them one at a time - using O(s log n) words
+// per node. The returned schemes are index-aligned with trees; the report
+// covers the whole parallel construction.
+func BuildTrees(net *Network, trees []*Tree, cfg TreeConfig) ([]*TreeScheme, TreeReport, error) {
+	if net == nil {
+		return nil, TreeReport{}, fmt.Errorf("lowmemroute: nil network")
+	}
+	if len(trees) == 0 {
+		return nil, TreeReport{}, nil
+	}
+	inner := make([]*graph.Tree, len(trees))
+	for i, t := range trees {
+		if t == nil {
+			return nil, TreeReport{}, fmt.Errorf("lowmemroute: nil tree at index %d", i)
+		}
+		inner[i] = t.t
+	}
+	sim := congest.New(net.g, congest.WithSeed(cfg.Seed))
+	res, err := treeroute.BuildDistributed(sim, inner, treeroute.DistOptions{Seed: cfg.Seed})
+	if err != nil {
+		return nil, TreeReport{}, err
+	}
+	rep := TreeReport{
+		Rounds:     sim.Rounds(),
+		Messages:   sim.Messages(),
+		PeakMemory: sim.PeakMemory(),
+		AvgMemory:  sim.AvgPeakMemory(),
+	}
+	out := make([]*TreeScheme, len(trees))
+	for i := range trees {
+		rep.Portals += res.Portals[i]
+		if w := res.Schemes[i].MaxTableWords(); w > rep.MaxTableWords {
+			rep.MaxTableWords = w
+		}
+		if w := res.Schemes[i].MaxLabelWords(); w > rep.MaxLabelWords {
+			rep.MaxLabelWords = w
+		}
+		out[i] = &TreeScheme{inner: res.Schemes[i], tree: trees[i], report: rep}
+	}
+	for i := range out {
+		out[i].report = rep
+	}
+	return out, rep, nil
+}
+
+// Route forwards a message from src to dst along the unique tree path.
+func (t *TreeScheme) Route(src, dst int) (Path, error) {
+	nodes, err := t.inner.Route(src, dst)
+	if err != nil {
+		return Path{}, err
+	}
+	return Path{Nodes: nodes, Weight: float64(len(nodes) - 1)}, nil
+}
+
+// Report returns the construction cost report.
+func (t *TreeScheme) Report() TreeReport { return t.report }
