@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet bench table1 table2 sweeps demo fmt
+.PHONY: all build test vet race bench table1 table2 sweeps demo fmt
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the concurrent engine and the per-round goroutine
+# pools (the packages where a data race could actually hide).
+race:
+	$(GO) test -race ./internal/congest/... ./internal/treeroute/...
 
 # Full test run with the output captured (the repository's test record).
 test-record:

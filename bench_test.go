@@ -262,6 +262,42 @@ func BenchmarkRoutePhase(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild measures the tracing layer's overhead on the full facade
+// build: the untraced variant is the hot-path baseline (one nil check per
+// round / span site), the traced variant records the complete span tree and
+// round series. Allocation counts and simulation rounds are reported so
+// regressions in either show up in -benchmem runs.
+func BenchmarkBuild(b *testing.B) {
+	net, err := Generate(ErdosRenyi, 192, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("untraced", func(b *testing.B) {
+		b.ReportAllocs()
+		var rep Report
+		for i := 0; i < b.N; i++ {
+			s, err := Build(net, Config{K: 2, Seed: 15})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep = s.Report()
+		}
+		b.ReportMetric(float64(rep.Rounds), "rounds")
+	})
+	b.Run("traced", func(b *testing.B) {
+		b.ReportAllocs()
+		var rep Report
+		for i := 0; i < b.N; i++ {
+			s, err := Build(net, Config{K: 2, Seed: 15, Trace: NewTracer()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep = s.Report()
+		}
+		b.ReportMetric(float64(rep.Rounds), "rounds")
+	})
+}
+
 func BenchmarkFacadeBuild(b *testing.B) {
 	net, err := Generate(ErdosRenyi, 192, 15)
 	if err != nil {

@@ -9,6 +9,8 @@
 //	routebench -n 256,512 -k 2,3 -family geometric
 //	routebench -sweep k -n 512           # E3: memory vs k
 //	routebench -sweep stretch -n 512 -k 3 # E5: stretch histogram
+//	routebench -trace run.json            # E9: record phase spans + round series
+//	routebench -trace run.json -trace-format chrome  # open in Perfetto
 package main
 
 import (
@@ -19,10 +21,12 @@ import (
 	"strconv"
 	"strings"
 
+	"lowmemroute/internal/cliutil"
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/core"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/trace"
 )
 
 func main() {
@@ -34,8 +38,28 @@ func main() {
 		pairs   = flag.Int("pairs", 200, "sampled pairs for stretch measurement")
 		sweep   = flag.String("sweep", "table1", "experiment: table1, k, stretch")
 		schemes = flag.String("schemes", "", "comma-separated scheme filter (tz,lp15,en16b,paper); empty = all")
+
+		tracePath   = flag.String("trace", "", "write a trace of the paper scheme's builds to this file ('-' = stdout); covers the table1 and stretch sweeps")
+		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := cliutil.StartPprof(*pprofAddr); err != nil {
+			fatalf("pprof: %v", err)
+		}
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		if err := cliutil.CheckTraceFormat(*traceFormat); err != nil {
+			fatalf("trace: %v", err)
+		}
+		rec = trace.NewRecorder()
+		rec.SetMeta("tool", "routebench")
+		rec.SetMeta("family", *family)
+		rec.SetMeta("seed", strconv.FormatInt(*seed, 10))
+	}
 
 	ns, err := parseInts(*nList)
 	if err != nil {
@@ -52,17 +76,22 @@ func main() {
 
 	switch *sweep {
 	case "table1":
-		runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter)
+		runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter, rec)
 	case "k":
 		runMemorySweep(graph.Family(*family), ns, ks, *seed)
 	case "stretch":
-		runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs)
+		runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs, rec)
 	default:
 		fatalf("unknown sweep %q", *sweep)
 	}
+	if rec != nil {
+		if err := cliutil.WriteTrace(rec, *tracePath, *traceFormat); err != nil {
+			fatalf("trace: %v", err)
+		}
+	}
 }
 
-func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string) {
+func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string, rec *trace.Recorder) {
 	fmt.Printf("Table 1: distributed compact routing schemes (%s)\n\n", family)
 	headers := []string{"n", "k", "scheme", "rounds", "messages", "table(w)", "label(w)", "stretch max", "stretch avg", "mem peak(w)", "mem avg(w)"}
 	var rows [][]string
@@ -70,6 +99,7 @@ func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes
 		for _, k := range ks {
 			res, err := metrics.RunTable1(metrics.Table1Config{
 				Family: family, N: n, K: k, Seed: seed, Pairs: pairs, Schemes: schemes,
+				Trace: rec,
 			})
 			if err != nil {
 				fatalf("n=%d k=%d: %v", n, k, err)
@@ -121,7 +151,7 @@ func runMemorySweep(family graph.Family, ns, ks []int, seed int64) {
 	fmt.Printf("\nexpected shape: paper memory shrinks with k (Õ(n^{1/k})); en16b stays Ω(√n)\n")
 }
 
-func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int) {
+func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int, rec *trace.Recorder) {
 	const buckets = 12
 	const width = 0.5
 	for _, n := range ns {
@@ -130,16 +160,23 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 			if err != nil {
 				fatalf("generate: %v", err)
 			}
-			sim := congest.New(g, congest.WithSeed(seed))
-			s, err := core.Build(sim, core.Options{K: k, Seed: seed})
+			simOpts := []congest.Option{congest.WithSeed(seed)}
+			if rec != nil {
+				simOpts = append(simOpts, congest.WithTrace(rec))
+			}
+			sim := congest.New(g, simOpts...)
+			rec.Attach(sim)
+			sp := rec.Begin(fmt.Sprintf("paper[n=%d,k=%d]", n, k))
+			s, err := core.Build(sim, core.Options{K: k, Seed: seed, Trace: rec})
+			sp.End()
 			if err != nil {
 				fatalf("build: %v", err)
 			}
-			hist, err := metrics.StretchHistogram(g, s, pairs, buckets, width, rand.New(rand.NewSource(seed+1)))
-			if err != nil {
-				fatalf("histogram: %v", err)
-			}
+			hist, failures := metrics.StretchHistogram(g, s, pairs, buckets, width, rand.New(rand.NewSource(seed+1)))
 			fmt.Printf("E5: stretch distribution, n=%d k=%d (%s), bound 4k-3 = %d\n\n", n, k, family, 4*k-3)
+			if failures > 0 {
+				fmt.Printf("  (%d pairs failed to route and were skipped)\n\n", failures)
+			}
 			max := 1
 			for _, c := range hist {
 				if c > max {

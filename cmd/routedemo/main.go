@@ -5,6 +5,7 @@
 // Usage:
 //
 //	routedemo -n 256 -k 3 -family geometric -routes 5
+//	routedemo -trace run.json -trace-format chrome  # record the build, open in Perfetto
 package main
 
 import (
@@ -12,8 +13,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strconv"
 
 	"lowmemroute"
+	"lowmemroute/internal/cliutil"
 )
 
 func main() {
@@ -23,8 +26,30 @@ func main() {
 		family = flag.String("family", "erdos-renyi", "topology family")
 		seed   = flag.Int64("seed", 1, "random seed")
 		routes = flag.Int("routes", 5, "number of demo routes")
+
+		tracePath   = flag.String("trace", "", "write a trace of the build to this file ('-' = stdout)")
+		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		if err := cliutil.StartPprof(*pprofAddr); err != nil {
+			fail(err)
+		}
+	}
+	var tracer *lowmemroute.Tracer
+	if *tracePath != "" {
+		if err := cliutil.CheckTraceFormat(*traceFormat); err != nil {
+			fail(err)
+		}
+		tracer = lowmemroute.NewTracer()
+		tracer.SetMeta("tool", "routedemo")
+		tracer.SetMeta("family", *family)
+		tracer.SetMeta("n", strconv.Itoa(*n))
+		tracer.SetMeta("k", strconv.Itoa(*k))
+		tracer.SetMeta("seed", strconv.FormatInt(*seed, 10))
+	}
 
 	net, err := lowmemroute.Generate(lowmemroute.Family(*family), *n, *seed)
 	if err != nil {
@@ -32,9 +57,14 @@ func main() {
 	}
 	fmt.Printf("network: %s, %d nodes, %d links\n", *family, net.Nodes(), net.Links())
 
-	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: *k, Seed: *seed})
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: *k, Seed: *seed, Trace: tracer})
 	if err != nil {
 		fail(err)
+	}
+	if tracer != nil {
+		if err := writeTrace(tracer, *tracePath, *traceFormat); err != nil {
+			fail(err)
+		}
 	}
 	rep := scheme.Report()
 	fmt.Printf("\nconstruction (simulated CONGEST):\n")
@@ -70,6 +100,31 @@ func main() {
 		fmt.Printf("route %d -> %d: %d hops, weight %.0f (exact %.0f, stretch %.2f)\n",
 			src, dst, path.Hops(), path.Weight, exact, stretch)
 		fmt.Printf("  %v\n", path.Nodes)
+	}
+}
+
+// writeTrace exports through the public Tracer API (routedemo deliberately
+// sticks to the facade package).
+func writeTrace(t *lowmemroute.Tracer, path, format string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "", "json":
+		return t.WriteJSON(w)
+	case "chrome":
+		return t.WriteChrome(w)
+	case "table":
+		_, err := fmt.Fprint(w, t.SummaryTable())
+		return err
+	default:
+		return fmt.Errorf("unknown trace format %q (want %s)", format, cliutil.TraceFormats)
 	}
 }
 

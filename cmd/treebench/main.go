@@ -21,8 +21,10 @@ import (
 	"strconv"
 	"strings"
 
+	"lowmemroute/internal/cliutil"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/trace"
 )
 
 func main() {
@@ -33,6 +35,10 @@ func main() {
 		seed   = flag.Int64("seed", 1, "random seed")
 		pairs  = flag.Int("pairs", 200, "sampled pairs for exactness verification")
 		sweep  = flag.String("sweep", "table2", "experiment: table2, n, multitree, hopset")
+
+		tracePath   = flag.String("trace", "", "write a trace of the paper scheme's builds to this file ('-' = stdout); covers the table2 sweep")
+		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -40,10 +46,25 @@ func main() {
 	if err != nil {
 		fatalf("bad -n: %v", err)
 	}
+	if *pprofAddr != "" {
+		if err := cliutil.StartPprof(*pprofAddr); err != nil {
+			fatalf("pprof: %v", err)
+		}
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		if err := cliutil.CheckTraceFormat(*traceFormat); err != nil {
+			fatalf("trace: %v", err)
+		}
+		rec = trace.NewRecorder()
+		rec.SetMeta("tool", "treebench")
+		rec.SetMeta("family", *family)
+		rec.SetMeta("seed", strconv.FormatInt(*seed, 10))
+	}
 
 	switch *sweep {
 	case "table2":
-		runTable2(graph.Family(*family), ns, *tree, *seed, *pairs)
+		runTable2(graph.Family(*family), ns, *tree, *seed, *pairs, rec)
 	case "n":
 		runRoundsSweep(graph.Family(*family), ns, *seed)
 	case "multitree":
@@ -53,15 +74,21 @@ func main() {
 	default:
 		fatalf("unknown sweep %q", *sweep)
 	}
+	if rec != nil {
+		if err := cliutil.WriteTrace(rec, *tracePath, *traceFormat); err != nil {
+			fatalf("trace: %v", err)
+		}
+	}
 }
 
-func runTable2(family graph.Family, ns []int, treeKind string, seed int64, pairs int) {
+func runTable2(family graph.Family, ns []int, treeKind string, seed int64, pairs int, rec *trace.Recorder) {
 	fmt.Printf("Table 2: distributed exact tree-routing schemes (%s, %s spanning trees)\n\n", family, treeKind)
 	headers := []string{"n", "tree height", "D", "scheme", "rounds", "messages", "table(w)", "label(w)", "header(w)", "mem peak(w)", "mem avg(w)", "exact"}
 	var rows [][]string
 	for _, n := range ns {
 		res, err := metrics.RunTable2(metrics.Table2Config{
 			Family: family, N: n, TreeKind: treeKind, Seed: seed, Pairs: pairs,
+			Trace: rec,
 		})
 		if err != nil {
 			fatalf("n=%d: %v", n, err)

@@ -1,0 +1,64 @@
+// Package cliutil holds the small flag-handling helpers shared by the
+// routebench/treebench/routedemo commands: writing a trace recording in the
+// chosen export format and starting the diagnostics HTTP server.
+package cliutil
+
+import (
+	"fmt"
+	"os"
+
+	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/trace"
+)
+
+// TraceFormats lists the values accepted by -trace-format.
+const TraceFormats = "json|chrome|table"
+
+// CheckTraceFormat rejects unknown -trace-format values. Call it before the
+// run, so a typo fails in milliseconds instead of after minutes of
+// simulation.
+func CheckTraceFormat(format string) error {
+	switch format {
+	case "", "json", "chrome", "table":
+		return nil
+	default:
+		return fmt.Errorf("unknown trace format %q (want %s)", format, TraceFormats)
+	}
+}
+
+// WriteTrace writes rec to path in the given format: "json" (schema-versioned,
+// machine-readable), "chrome" (trace_event JSON for chrome://tracing /
+// Perfetto), or "table" (aligned text summary). Path "-" writes to stdout.
+func WriteTrace(rec *trace.Recorder, path, format string) error {
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch format {
+	case "", "json":
+		return rec.WriteJSON(w)
+	case "chrome":
+		return rec.WriteChrome(w)
+	case "table":
+		_, err := fmt.Fprint(w, metrics.FormatTraceTable(rec.Export()))
+		return err
+	default:
+		return fmt.Errorf("unknown trace format %q (want %s)", format, TraceFormats)
+	}
+}
+
+// StartPprof starts the diagnostics HTTP server (net/http/pprof plus a
+// /debug/metrics runtime-metrics dump) and prints where it is listening.
+func StartPprof(addr string) error {
+	bound, err := trace.ServePprof(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/metrics\n", bound)
+	return nil
+}

@@ -1,6 +1,10 @@
 package congest
 
-import "sort"
+import (
+	"sort"
+
+	"lowmemroute/internal/trace"
+)
 
 // BroadcastMsg is a message disseminated to every vertex via the BFS tree of
 // the communication graph (Lemma 1 in the paper).
@@ -36,18 +40,22 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m Broadcas
 	}
 	s.messages += int64(len(msgs)) * int64(n-1)
 	s.words += totalWords * int64(n-1)
-	if handle == nil {
-		return
-	}
-	for v := 0; v < n; v++ {
-		for _, m := range msgs {
-			w := int64(m.Words)
-			if w < 1 {
-				w = 1
+	if handle != nil {
+		for v := 0; v < n; v++ {
+			for _, m := range msgs {
+				w := int64(m.Words)
+				if w < 1 {
+					w = 1
+				}
+				s.meters[v].Spike(w)
+				handle(v, m)
 			}
-			s.meters[v].Spike(w)
-			handle(v, m)
 		}
+	}
+	if s.tracer != nil {
+		s.emitSample(s.rounds, trace.KindBroadcast,
+			int64(len(msgs))+2*int64(s.d), n,
+			int64(len(msgs))*int64(n-1), totalWords*int64(n-1))
 	}
 }
 
@@ -73,15 +81,19 @@ func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m Br
 	// Each message travels at most D hops to the sink.
 	s.messages += int64(len(sorted)) * int64(s.d)
 	s.words += totalWords * int64(s.d)
-	if handle == nil {
-		return
-	}
-	for _, m := range sorted {
-		w := int64(m.Words)
-		if w < 1 {
-			w = 1
+	if handle != nil {
+		for _, m := range sorted {
+			w := int64(m.Words)
+			if w < 1 {
+				w = 1
+			}
+			s.meters[sink].Spike(w)
+			handle(m)
 		}
-		s.meters[sink].Spike(w)
-		handle(m)
+	}
+	if s.tracer != nil {
+		s.emitSample(s.rounds, trace.KindConvergecast,
+			int64(len(sorted))+2*int64(s.d), len(sorted),
+			int64(len(sorted))*int64(s.d), totalWords*int64(s.d))
 	}
 }

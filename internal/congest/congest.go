@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/trace"
 )
 
 // DefaultEdgeCapacity is the per-round word budget of a directed edge: a
@@ -70,6 +71,11 @@ type Simulator struct {
 
 	workers int
 	rng     *rand.Rand
+
+	// tracer, when non-nil, receives one RoundSample per simulated round
+	// and per analytically-charged primitive. Disabled tracing costs one
+	// nil check per round.
+	tracer trace.Sink
 }
 
 type edgeKey struct{ from, to int }
@@ -110,6 +116,12 @@ func WithDiameter(d int) Option {
 			s.d = d
 		}
 	}
+}
+
+// WithTrace attaches a telemetry sink receiving per-round samples. Pass a
+// *trace.Recorder; a nil sink leaves tracing disabled.
+func WithTrace(t trace.Sink) Option {
+	return func(s *Simulator) { s.tracer = t }
 }
 
 // WithEdgeCapacity sets the per-round word budget of each directed edge.
@@ -203,7 +215,58 @@ func (s *Simulator) DeriveRand(v int) *rand.Rand {
 func (s *Simulator) AddRounds(k int64) {
 	if k > 0 {
 		s.rounds += k
+		if s.tracer != nil {
+			s.emitSample(s.rounds, trace.KindAnalytic, k, 0, 0, 0)
+		}
 	}
+}
+
+// meterStats scans all meters: the max windowed instantaneous level (spikes
+// included; windows reset) and the mean persistent level. Only called with
+// tracing enabled.
+func (s *Simulator) meterStats() (int64, float64) {
+	var mx, sum int64
+	for i := range s.meters {
+		if w := s.meters[i].SampleWindow(); w > mx {
+			mx = w
+		}
+		sum += s.meters[i].Current()
+	}
+	if len(s.meters) == 0 {
+		return 0, 0
+	}
+	return mx, float64(sum) / float64(len(s.meters))
+}
+
+// queueBacklog returns the words still queued on bandwidth-limited edges.
+func (s *Simulator) queueBacklog() int64 {
+	var backlog int64
+	for _, q := range s.queues {
+		for i, m := range q.msgs {
+			w := int64(m.Words)
+			if i == 0 {
+				w -= int64(q.sent)
+			}
+			backlog += w
+		}
+	}
+	return backlog
+}
+
+// emitSample builds and delivers one RoundSample; callers guard s.tracer.
+func (s *Simulator) emitSample(round int64, kind string, rounds int64, active int, msgs, words int64) {
+	mx, mean := s.meterStats()
+	s.tracer.RoundSample(trace.RoundSample{
+		Round:    round,
+		Rounds:   rounds,
+		Kind:     kind,
+		Active:   active,
+		Messages: msgs,
+		Words:    words,
+		Backlog:  s.queueBacklog(),
+		MemMax:   mx,
+		MemMean:  mean,
+	})
 }
 
 // Ctx is the per-vertex, per-round execution context handed to StepFuncs.
@@ -265,7 +328,9 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	sort.Ints(actList)
 
 	executed := 0
+	baseRounds := s.rounds
 	for round := 0; round < maxRounds && (len(actList) > 0 || len(s.queues) > 0); round++ {
+		msgsBefore, wordsBefore := s.messages, s.words
 		ctxs := s.runRound(actList, round, step)
 		executed++
 
@@ -329,6 +394,11 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 			if len(q.msgs) == 0 {
 				delete(s.queues, k)
 			}
+		}
+
+		if s.tracer != nil {
+			s.emitSample(baseRounds+int64(executed), trace.KindRound, 1,
+				len(actList), s.messages-msgsBefore, s.words-wordsBefore)
 		}
 
 		// Build next round's active list.

@@ -11,6 +11,21 @@ package congest
 type Meter struct {
 	current int64
 	peak    int64
+	// window is the maximum instantaneous level (including transient
+	// spikes) since the last SampleWindow call - the tracer's per-round
+	// memory time series hook.
+	window int64
+}
+
+// note records an instantaneous level against the high-water mark and the
+// current sampling window.
+func (m *Meter) note(level int64) {
+	if level > m.peak {
+		m.peak = level
+	}
+	if level > m.window {
+		m.window = level
+	}
 }
 
 // Charge adds words of persistent storage.
@@ -19,9 +34,7 @@ func (m *Meter) Charge(words int64) {
 		return
 	}
 	m.current += words
-	if m.current > m.peak {
-		m.peak = m.current
-	}
+	m.note(m.current)
 }
 
 // Release frees words of persistent storage (clamped at zero).
@@ -41,9 +54,7 @@ func (m *Meter) Spike(words int64) {
 	if words <= 0 {
 		return
 	}
-	if m.current+words > m.peak {
-		m.peak = m.current + words
-	}
+	m.note(m.current + words)
 }
 
 // Current returns the currently charged persistent words.
@@ -52,5 +63,18 @@ func (m *Meter) Current() int64 { return m.current }
 // Peak returns the high-water mark in words.
 func (m *Meter) Peak() int64 { return m.peak }
 
+// SampleWindow returns the maximum instantaneous level - persistent charges
+// and transient spikes alike - observed since the previous call, and starts
+// a new window at the current level. The simulator's tracer calls this once
+// per sampled round; it never affects Current or Peak.
+func (m *Meter) SampleWindow() int64 {
+	w := m.window
+	if m.current > w {
+		w = m.current
+	}
+	m.window = m.current
+	return w
+}
+
 // Reset zeroes the meter.
-func (m *Meter) Reset() { m.current, m.peak = 0, 0 }
+func (m *Meter) Reset() { m.current, m.peak, m.window = 0, 0, 0 }

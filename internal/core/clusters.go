@@ -376,13 +376,16 @@ func (b *builder) assemble() (*Scheme, error) {
 		q = 1 / math.Sqrt(float64(s)*float64(b.n))
 	}
 	maxOffset := int(math.Sqrt(float64(s)*float64(b.n))*math.Log2(float64(b.n)+1)) + 1
+	sp := b.o.Trace.Begin("tree-routing")
 	before := b.sim.Rounds()
 	res, err := treeroute.BuildDistributed(b.sim, trees, treeroute.DistOptions{
 		Q:         q,
 		Seed:      b.o.Seed + 2,
 		MaxOffset: maxOffset,
+		Trace:     b.o.Trace,
 	})
 	b.phaseRounds["tree-routing"] += b.sim.Rounds() - before
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: tree routing: %w", err)
 	}

@@ -39,6 +39,7 @@ import (
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/hopset"
+	"lowmemroute/internal/trace"
 )
 
 // Options configures Build.
@@ -63,6 +64,10 @@ type Options struct {
 	HopsetKappa int
 	// TreeQ overrides the tree-routing portal probability (0 = auto).
 	TreeQ float64
+	// Trace, when non-nil, records one span per construction phase (the
+	// span tree behind Stats.PhaseRounds) with nested sub-phase spans from
+	// treeroute and hopset. Nil disables span recording at no cost.
+	Trace *trace.Recorder
 }
 
 func (o *Options) withDefaults() Options {
@@ -142,11 +147,14 @@ func Build(sim *congest.Simulator, opts Options) (*Scheme, error) {
 	return b.assemble()
 }
 
-// timed runs a phase and records the simulation rounds it consumed.
+// timed runs a phase under a trace span and records the simulation rounds
+// it consumed.
 func (b *builder) timed(name string, phase func() error) error {
+	sp := b.o.Trace.Begin(name)
 	before := b.sim.Rounds()
 	err := phase()
 	b.phaseRounds[name] += b.sim.Rounds() - before
+	sp.End()
 	return err
 }
 
@@ -341,6 +349,7 @@ func (b *builder) buildHopset() error {
 	hs, err := hopset.Build(b.sim, vg, hopset.Options{
 		Kappa: b.o.HopsetKappa,
 		Seed:  b.o.Seed + 1,
+		Trace: b.o.Trace,
 	})
 	if err != nil {
 		return fmt.Errorf("core: hopset: %w", err)

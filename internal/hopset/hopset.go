@@ -8,6 +8,7 @@ import (
 
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/trace"
 )
 
 // Options configures the hopset construction.
@@ -21,6 +22,9 @@ type Options struct {
 	// HopGrowth multiplies the exploration hop budget at each level
 	// (cluster radii grow with level). Defaults to 3.
 	HopGrowth int
+	// Trace, when non-nil, records one span per sampling level with
+	// pivot/cluster sub-spans. Nil disables span recording at no cost.
+	Trace *trace.Recorder
 }
 
 // Edge is one hopset edge, oriented from the vertex that stores it toward
@@ -75,6 +79,7 @@ func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, err
 	hops := vg.B()
 	maxHops := 4 * sim.N()
 	for i := 0; i < kappa && len(level) > 0; i++ {
+		levelSpan := opts.Trace.Begin(fmt.Sprintf("hopset-level-%d", i))
 		var next []int
 		if i < kappa-1 {
 			for _, v := range level {
@@ -85,8 +90,11 @@ func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, err
 		}
 
 		// Pivot distances d(·, W_{i+1}) at every host vertex.
+		pivotSpan := opts.Trace.Begin("pivots")
 		pivotDist, pivotParent, pivotOrigin, err := DistToSet(sim, next, hops)
+		pivotSpan.End()
 		if err != nil {
+			levelSpan.End()
 			return nil, fmt.Errorf("hopset: level %d pivots: %w", i, err)
 		}
 		// The pivot field (dist + parent) is retained for the level.
@@ -105,8 +113,11 @@ func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, err
 			inLevel[w] = true
 		}
 		limit := func(v, root int, d float64) bool { return d < pivotDist[v] }
+		clusterSpan := opts.Trace.Begin("clusters")
 		res, err := Explore(sim, srcs, ExploreOptions{Hops: hops, Limit: limit})
+		clusterSpan.End()
 		if err != nil {
+			levelSpan.End()
 			return nil, fmt.Errorf("hopset: level %d clusters: %w", i, err)
 		}
 		// Cluster entries (dist + parent per center) back the
@@ -137,6 +148,7 @@ func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, err
 		if hops > maxHops {
 			hops = maxHops
 		}
+		levelSpan.End()
 	}
 	return hs, nil
 }

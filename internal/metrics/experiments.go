@@ -8,6 +8,7 @@ import (
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/core"
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/trace"
 	"lowmemroute/internal/treeroute"
 	"lowmemroute/internal/tz"
 )
@@ -38,6 +39,9 @@ type Table1Config struct {
 	// Schemes filters which rows to run; nil runs all four
 	// ("tz", "lp15", "en16b", "paper").
 	Schemes []string
+	// Trace, when non-nil, records the paper scheme's construction (one
+	// root span per build, per-phase children, per-round samples).
+	Trace *trace.Recorder
 }
 
 // RunTable1 builds every requested scheme on a fresh copy of the same graph
@@ -98,8 +102,15 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		row.LabelWords = s.MaxLabelWords()
 		row.Stretch = MeasureStretch(g, s, cfg.Pairs, r)
 	case "paper":
-		sim := congest.New(g, congest.WithSeed(cfg.Seed))
-		s, err := core.Build(sim, core.Options{K: cfg.K, Seed: cfg.Seed})
+		simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+		if cfg.Trace != nil {
+			simOpts = append(simOpts, congest.WithTrace(cfg.Trace))
+		}
+		sim := congest.New(g, simOpts...)
+		cfg.Trace.Attach(sim)
+		sp := cfg.Trace.Begin(fmt.Sprintf("paper[n=%d,k=%d]", g.N(), cfg.K))
+		s, err := core.Build(sim, core.Options{K: cfg.K, Seed: cfg.Seed, Trace: cfg.Trace})
+		sp.End()
 		if err != nil {
 			return row, err
 		}
@@ -149,6 +160,9 @@ type Table2Config struct {
 	// Schemes filters rows; nil runs all three
 	// ("en16b-tree", "tz-tree", "paper-tree").
 	Schemes []string
+	// Trace, when non-nil, records the paper scheme's construction (one
+	// root span per build, per-phase children, per-round samples).
+	Trace *trace.Recorder
 }
 
 // RunTable2 builds every requested tree-routing scheme for the same
@@ -200,8 +214,16 @@ func runTreeScheme(name string, g *graph.Graph, tree *graph.Tree, cfg Table2Conf
 		row.LabelWords = s.MaxLabelWords()
 		row.Exact = treeroute.VerifyExact(s, tree, pairs) == nil
 	case "paper-tree":
-		sim := congest.New(g, congest.WithSeed(cfg.Seed))
-		res, err := treeroute.BuildDistributed(sim, []*graph.Tree{tree}, treeroute.DistOptions{Seed: cfg.Seed})
+		simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+		if cfg.Trace != nil {
+			simOpts = append(simOpts, congest.WithTrace(cfg.Trace))
+		}
+		sim := congest.New(g, simOpts...)
+		cfg.Trace.Attach(sim)
+		sp := cfg.Trace.Begin(fmt.Sprintf("paper-tree[n=%d]", g.N()))
+		res, err := treeroute.BuildDistributed(sim, []*graph.Tree{tree},
+			treeroute.DistOptions{Seed: cfg.Seed, Trace: cfg.Trace})
+		sp.End()
 		if err != nil {
 			return row, err
 		}

@@ -72,9 +72,12 @@ func MeasureStretch(g *graph.Graph, router WeightedRouter, pairs int, r *rand.Ra
 }
 
 // StretchHistogram routes sampled pairs and buckets stretch values; bucket i
-// covers [1 + i*width, 1 + (i+1)*width).
-func StretchHistogram(g *graph.Graph, router WeightedRouter, pairs, buckets int, width float64, r *rand.Rand) ([]int, error) {
+// covers [1 + i*width, 1 + (i+1)*width). Pairs the router fails on are
+// counted and skipped (like MeasureStretch) rather than aborting the whole
+// measurement; the failure count is returned alongside the histogram.
+func StretchHistogram(g *graph.Graph, router WeightedRouter, pairs, buckets int, width float64, r *rand.Rand) ([]int, int) {
 	hist := make([]int, buckets)
+	failures := 0
 	n := g.N()
 	for i := 0; i < pairs; i++ {
 		u, v := r.Intn(n), r.Intn(n)
@@ -83,7 +86,8 @@ func StretchHistogram(g *graph.Graph, router WeightedRouter, pairs, buckets int,
 		}
 		_, w, err := router.Route(u, v)
 		if err != nil {
-			return nil, err
+			failures++
+			continue
 		}
 		d := g.Dijkstra(u).Dist[v]
 		if d <= 0 || d == graph.Infinity {
@@ -98,7 +102,7 @@ func StretchHistogram(g *graph.Graph, router WeightedRouter, pairs, buckets int,
 		}
 		hist[b]++
 	}
-	return hist, nil
+	return hist, failures
 }
 
 // FormatTable renders rows as an aligned text table with a header rule.

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -36,10 +38,16 @@ func TestFormatInt(t *testing.T) {
 		want string
 	}{
 		{0, "0"},
+		{-1, "-1"},
 		{999, "999"},
 		{1000, "1,000"},
+		{-1000, "-1,000"},
+		{999999, "999,999"},
+		{1000000, "1,000,000"},
 		{1234567, "1,234,567"},
 		{-4321, "-4,321"},
+		{math.MaxInt64, "9,223,372,036,854,775,807"},
+		{math.MinInt64, "-9,223,372,036,854,775,808"},
 	}
 	for _, tt := range tests {
 		if got := FormatInt(tt.in); got != tt.want {
@@ -83,9 +91,9 @@ func TestStretchHistogram(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hist, err := StretchHistogram(g, s, 150, 10, 0.5, rand.New(rand.NewSource(6)))
-	if err != nil {
-		t.Fatal(err)
+	hist, failures := StretchHistogram(g, s, 150, 10, 0.5, rand.New(rand.NewSource(6)))
+	if failures != 0 {
+		t.Fatalf("failures=%d on a complete scheme", failures)
 	}
 	total := 0
 	for _, c := range hist {
@@ -96,6 +104,49 @@ func TestStretchHistogram(t *testing.T) {
 	}
 	if hist[0] == 0 {
 		t.Fatal("expected some near-exact routes in bucket 0")
+	}
+}
+
+// flakyRouter fails every route out of an even source, exercising the
+// failure-count paths of MeasureStretch and StretchHistogram.
+type flakyRouter struct{ inner WeightedRouter }
+
+func (f flakyRouter) Route(src, dst int) ([]int, float64, error) {
+	if src%2 == 0 {
+		return nil, 0, fmt.Errorf("flaky: refusing src %d", src)
+	}
+	return f.inner.Route(src, dst)
+}
+
+func TestStretchHistogramCountsFailures(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 60, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tz.Build(g, tz.Options{K: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, failures := StretchHistogram(g, flakyRouter{s}, 150, 10, 0.5, rand.New(rand.NewSource(6)))
+	if failures == 0 {
+		t.Fatal("expected some failed pairs")
+	}
+	total := 0
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("failures must not wipe out the histogram")
+	}
+	// The routable half of the pairs must bucket exactly as before.
+	full, _ := StretchHistogram(g, s, 150, 10, 0.5, rand.New(rand.NewSource(6)))
+	fullTotal := 0
+	for _, c := range full {
+		fullTotal += c
+	}
+	if total >= fullTotal {
+		t.Fatalf("flaky total %d should be below full total %d", total, fullTotal)
 	}
 }
 

@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"lowmemroute/internal/trace"
+)
+
+// FormatTraceTable renders a trace export's span tree as an aligned text
+// table (one row per span, children indented), the human-readable
+// counterpart of the JSON and Chrome exports.
+func FormatTraceTable(ex trace.Export) string {
+	headers := []string{"phase", "start", "rounds", "messages", "words", "peak mem(w)", "wall"}
+	var rows [][]string
+	var walk func(sp trace.SpanExport, depth int)
+	walk = func(sp trace.SpanExport, depth int) {
+		rows = append(rows, []string{
+			strings.Repeat("  ", depth) + sp.Name,
+			FormatInt(sp.StartRound),
+			FormatInt(sp.Rounds),
+			FormatInt(sp.Messages),
+			FormatInt(sp.Words),
+			FormatInt(sp.PeakMemAfter),
+			fmt.Sprintf("%.1fms", float64(sp.WallNanos)/1e6),
+		})
+		for _, c := range sp.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, sp := range ex.Spans {
+		walk(sp, 0)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace (%s): %s rounds, %s messages, %s words, peak mem %s words\n\n",
+		ex.Schema,
+		FormatInt(ex.Counters.Rounds), FormatInt(ex.Counters.Messages),
+		FormatInt(ex.Counters.Words), FormatInt(ex.Counters.PeakMemory))
+	b.WriteString(FormatTable(headers, rows))
+	if n := len(ex.Samples); n > 0 {
+		fmt.Fprintf(&b, "\n%d round samples (see the JSON/Chrome exports for the full series)\n", n)
+	}
+	return b.String()
+}

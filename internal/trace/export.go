@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion identifies the JSON export layout. Consumers (CI bench
+// tracking) must reject files whose schema field does not match; the
+// version bumps on any incompatible change. Documented in DESIGN.md §7.
+const SchemaVersion = "lowmemroute.trace/v1"
+
+// Export is the machine-readable form of a recording.
+type Export struct {
+	Schema   string            `json:"schema"`
+	Meta     map[string]string `json:"meta,omitempty"`
+	Counters Counters          `json:"counters"`
+	Spans    []SpanExport      `json:"spans"`
+	Samples  []RoundSample     `json:"samples,omitempty"`
+}
+
+// SpanExport is one span of the export tree; all quantities are deltas over
+// the span except StartRound.
+type SpanExport struct {
+	Name          string       `json:"name"`
+	StartRound    int64        `json:"startRound"`
+	Rounds        int64        `json:"rounds"`
+	Messages      int64        `json:"messages"`
+	Words         int64        `json:"words"`
+	PeakMemBefore int64        `json:"peakMemBefore"`
+	PeakMemAfter  int64        `json:"peakMemAfter"`
+	WallNanos     int64        `json:"wallNanos"`
+	Children      []SpanExport `json:"children,omitempty"`
+}
+
+func exportSpan(sp *Span) SpanExport {
+	out := SpanExport{
+		Name:          sp.name,
+		StartRound:    sp.start.Rounds,
+		Rounds:        sp.end.Rounds - sp.start.Rounds,
+		Messages:      sp.end.Messages - sp.start.Messages,
+		Words:         sp.end.Words - sp.start.Words,
+		PeakMemBefore: sp.start.PeakMemory,
+		PeakMemAfter:  sp.end.PeakMemory,
+		WallNanos:     sp.wallDur.Nanoseconds(),
+	}
+	for _, c := range sp.children {
+		out.Children = append(out.Children, exportSpan(c))
+	}
+	return out
+}
+
+// Export snapshots the recording. Open spans are exported with their
+// begin-time counters (zero deltas).
+func (r *Recorder) Export() Export {
+	out := Export{Schema: SchemaVersion}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.meta) > 0 {
+		out.Meta = make(map[string]string, len(r.meta))
+		for k, v := range r.meta {
+			out.Meta[k] = v
+		}
+	}
+	out.Counters = r.countersLocked()
+	for _, sp := range r.roots {
+		out.Spans = append(out.Spans, exportSpan(sp))
+	}
+	out.Samples = append([]RoundSample(nil), r.samples...)
+	return out
+}
+
+// WriteJSON writes the schema-versioned JSON export.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Export())
+}
+
+// ReadJSON parses a JSON export, rejecting unknown schema versions.
+func ReadJSON(r io.Reader) (Export, error) {
+	var out Export
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return Export{}, fmt.Errorf("trace: decode export: %w", err)
+	}
+	if out.Schema != SchemaVersion {
+		return Export{}, fmt.Errorf("trace: unsupported schema %q (want %q)", out.Schema, SchemaVersion)
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func chromeSpans(sp SpanExport, events []chromeEvent) []chromeEvent {
+	dur := sp.Rounds
+	if dur < 1 {
+		dur = 1 // zero-duration slices vanish in viewers
+	}
+	events = append(events, chromeEvent{
+		Name: sp.Name,
+		Ph:   "X",
+		Ts:   sp.StartRound,
+		Dur:  dur,
+		Pid:  1,
+		Tid:  1,
+		Args: map[string]any{
+			"rounds":       sp.Rounds,
+			"messages":     sp.Messages,
+			"words":        sp.Words,
+			"peakMemAfter": sp.PeakMemAfter,
+			"wallNanos":    sp.WallNanos,
+		},
+	})
+	for _, c := range sp.Children {
+		events = chromeSpans(c, events)
+	}
+	return events
+}
+
+// WriteChrome writes the recording in Chrome trace_event JSON, loadable in
+// chrome://tracing and Perfetto. The simulated round number is the clock:
+// one round renders as one microsecond. Spans become complete ("X") slices
+// on a single track; the per-round time series becomes counter ("C") tracks
+// for traffic, backlog, active vertices, and meter levels.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	ex := r.Export()
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 1,
+		Args: map[string]any{"name": "congest-sim"},
+	})
+	for _, sp := range ex.Spans {
+		events = chromeSpans(sp, events)
+	}
+	for _, s := range ex.Samples {
+		ts := s.Round
+		events = append(events,
+			chromeEvent{Name: "traffic", Ph: "C", Ts: ts, Pid: 1,
+				Args: map[string]any{"messages": s.Messages, "words": s.Words}},
+			chromeEvent{Name: "backlog", Ph: "C", Ts: ts, Pid: 1,
+				Args: map[string]any{"words": s.Backlog}},
+			chromeEvent{Name: "active", Ph: "C", Ts: ts, Pid: 1,
+				Args: map[string]any{"vertices": s.Active}},
+			chromeEvent{Name: "memory", Ph: "C", Ts: ts, Pid: 1,
+				Args: map[string]any{"max": s.MemMax, "mean": s.MemMean}},
+		)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"time"
+)
+
+// ServePprof starts an HTTP server on addr exposing the standard
+// net/http/pprof endpoints under /debug/pprof/ and the Go runtime metrics
+// (runtime/metrics, JSON map of metric name to value) under /debug/metrics.
+// It returns the bound address (useful with addr ":0") or the bind error;
+// the server runs until the process exits.
+func ServePprof(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", runtimeMetricsHandler)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // diagnostics server lives until exit
+	return ln.Addr().String(), nil
+}
+
+// runtimeMetricsHandler dumps every scalar runtime/metrics sample.
+// Histogram-valued metrics are reduced to their bucket-weighted mean.
+func runtimeMetricsHandler(w http.ResponseWriter, _ *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			out[s.Name] = histMean(s.Value.Float64Histogram())
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // best-effort diagnostics
+}
+
+func histMean(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total, weighted float64
+	for i, c := range h.Counts {
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := lo
+		if hi > lo && !isInf(lo) && !isInf(hi) {
+			mid = (lo + hi) / 2
+		}
+		if isInf(mid) {
+			continue
+		}
+		total += float64(c)
+		weighted += float64(c) * mid
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+func isInf(f float64) bool { return f > 1e308 || f < -1e308 }

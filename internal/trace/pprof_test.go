@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServePprof(t *testing.T) {
+	addr, err := ServePprof("localhost:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status=%d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("/debug/metrics is not JSON: %v", err)
+	}
+	if len(m) == 0 {
+		t.Fatal("no runtime metrics reported")
+	}
+	idx, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.Body.Close()
+	if idx.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status=%d", idx.StatusCode)
+	}
+}

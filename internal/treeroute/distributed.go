@@ -7,6 +7,7 @@ import (
 
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/trace"
 )
 
 // DistOptions configures the distributed low-memory construction.
@@ -21,6 +22,10 @@ type DistOptions struct {
 	// O(sqrt(s*n)*log n) default when more than one tree is built, and no
 	// offsets for a single tree.
 	MaxOffset int
+	// Trace, when non-nil, records one span per construction phase
+	// (local-roots, local-sizes, global-sizes, ...). Nil disables span
+	// recording at no cost.
+	Trace *trace.Recorder
 }
 
 // DistResult carries the schemes built by BuildDistributed plus
@@ -62,6 +67,7 @@ func BuildDistributed(sim *congest.Simulator, trees []*graph.Tree, opts DistOpti
 		n:     n,
 		iters: pointerJumpIterations(n),
 		rng:   rand.New(rand.NewSource(opts.Seed)),
+		tr:    opts.Trace,
 	}
 	q := opts.Q
 	if q <= 0 || q > 1 {
@@ -86,21 +92,21 @@ func BuildDistributed(sim *congest.Simulator, trees []*graph.Tree, opts DistOpti
 	if err := b.phaseLocalSizes(); err != nil {
 		return nil, err
 	}
-	b.phaseGlobalSizes()
+	b.spanned("global-sizes", b.phaseGlobalSizes)
 	if err := b.phaseSizesDown(); err != nil {
 		return nil, err
 	}
 	if err := b.phaseLocalLight(); err != nil {
 		return nil, err
 	}
-	b.phaseGlobalLight()
+	b.spanned("global-light", b.phaseGlobalLight)
 	if err := b.phaseLightDown(); err != nil {
 		return nil, err
 	}
 	if err := b.phaseLocalDFS(); err != nil {
 		return nil, err
 	}
-	b.phaseGlobalShifts()
+	b.spanned("global-shifts", b.phaseGlobalShifts)
 	if err := b.phaseShiftsDown(); err != nil {
 		return nil, err
 	}
@@ -274,15 +280,26 @@ type distBuilder struct {
 	iters int
 	cap   int
 	rng   *rand.Rand
+	tr    *trace.Recorder
 	ts    []*treeState
 }
 
-// runPhase wraps Simulator.Run with convergence detection.
+// runPhase wraps Simulator.Run with convergence detection and a trace span.
 func (b *distBuilder) runPhase(name string, initial []int, step congest.StepFunc) error {
+	sp := b.tr.Begin(name)
+	defer sp.End()
 	if b.sim.Run(initial, b.cap, step) >= b.cap {
 		return fmt.Errorf("treeroute: phase %q did not converge within %d rounds", name, b.cap)
 	}
 	return nil
+}
+
+// spanned runs a pointer-jumping stage (no convergence to detect) under a
+// trace span.
+func (b *distBuilder) spanned(name string, phase func()) {
+	sp := b.tr.Begin(name)
+	phase()
+	sp.End()
 }
 
 // union returns the deduplicated initial activation set for a predicate over

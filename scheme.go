@@ -22,6 +22,10 @@ type Config struct {
 	Epsilon float64
 	// Seed drives all randomness; equal seeds give identical schemes.
 	Seed int64
+	// Trace, when non-nil, records per-phase spans and a per-round time
+	// series during the build (see NewTracer). Tracing is observational:
+	// the scheme and Report are identical with or without it.
+	Trace *Tracer
 }
 
 // Report summarises the distributed construction's cost in the CONGEST
@@ -74,11 +78,17 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 	if net.Nodes() > 1 && !net.Connected() {
 		return nil, fmt.Errorf("lowmemroute: network is not connected")
 	}
-	sim := congest.New(net.g, congest.WithSeed(cfg.Seed))
+	simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+	if rec := cfg.Trace.recorder(); rec != nil {
+		simOpts = append(simOpts, congest.WithTrace(rec))
+	}
+	sim := congest.New(net.g, simOpts...)
+	cfg.Trace.recorder().Attach(sim)
 	s, err := core.Build(sim, core.Options{
 		K:       cfg.K,
 		Epsilon: cfg.Epsilon,
 		Seed:    cfg.Seed,
+		Trace:   cfg.Trace.recorder(),
 	})
 	if err != nil {
 		return nil, err
@@ -161,6 +171,9 @@ func (p *PacketNetwork) Close() { p.inner.Close() }
 type TreeConfig struct {
 	// Seed drives portal sampling.
 	Seed int64
+	// Trace, when non-nil, records per-phase spans and a per-round time
+	// series during the build (see NewTracer).
+	Trace *Tracer
 }
 
 // TreeReport summarises a tree-routing construction.
@@ -189,8 +202,14 @@ func BuildTree(net *Network, tree *Tree, cfg TreeConfig) (*TreeScheme, error) {
 	if net == nil || tree == nil {
 		return nil, fmt.Errorf("lowmemroute: nil network or tree")
 	}
-	sim := congest.New(net.g, congest.WithSeed(cfg.Seed))
-	res, err := treeroute.BuildDistributed(sim, []*graph.Tree{tree.t}, treeroute.DistOptions{Seed: cfg.Seed})
+	simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+	if rec := cfg.Trace.recorder(); rec != nil {
+		simOpts = append(simOpts, congest.WithTrace(rec))
+	}
+	sim := congest.New(net.g, simOpts...)
+	cfg.Trace.recorder().Attach(sim)
+	res, err := treeroute.BuildDistributed(sim, []*graph.Tree{tree.t},
+		treeroute.DistOptions{Seed: cfg.Seed, Trace: cfg.Trace.recorder()})
 	if err != nil {
 		return nil, err
 	}
@@ -229,8 +248,14 @@ func BuildTrees(net *Network, trees []*Tree, cfg TreeConfig) ([]*TreeScheme, Tre
 		}
 		inner[i] = t.t
 	}
-	sim := congest.New(net.g, congest.WithSeed(cfg.Seed))
-	res, err := treeroute.BuildDistributed(sim, inner, treeroute.DistOptions{Seed: cfg.Seed})
+	simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+	if rec := cfg.Trace.recorder(); rec != nil {
+		simOpts = append(simOpts, congest.WithTrace(rec))
+	}
+	sim := congest.New(net.g, simOpts...)
+	cfg.Trace.recorder().Attach(sim)
+	res, err := treeroute.BuildDistributed(sim, inner,
+		treeroute.DistOptions{Seed: cfg.Seed, Trace: cfg.Trace.recorder()})
 	if err != nil {
 		return nil, TreeReport{}, err
 	}

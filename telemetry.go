@@ -1,0 +1,65 @@
+package lowmemroute
+
+import (
+	"io"
+
+	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/trace"
+)
+
+// Tracer records construction telemetry: one span per construction phase
+// (the structured form of Report.PhaseRounds) and a per-round time series
+// from the CONGEST engine. Attach one via Config.Trace / TreeConfig.Trace,
+// run a build, then export. A nil *Tracer is valid everywhere and disables
+// recording at no cost.
+type Tracer struct {
+	rec *trace.Recorder
+}
+
+// NewTracer returns an empty tracer ready to be passed to Build, BuildTree,
+// or BuildTrees.
+func NewTracer() *Tracer { return &Tracer{rec: trace.NewRecorder()} }
+
+// SetMeta annotates the recording with a key/value pair carried into every
+// export (e.g. the instance's n, k, family, seed).
+func (t *Tracer) SetMeta(key, value string) {
+	if t == nil {
+		return
+	}
+	t.rec.SetMeta(key, value)
+}
+
+// WriteJSON writes the recording as schema-versioned JSON (see DESIGN.md).
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.rec.WriteJSON(w)
+}
+
+// WriteChrome writes the recording in Chrome trace_event format, loadable in
+// chrome://tracing or https://ui.perfetto.dev (1 simulated round = 1 µs).
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	return t.rec.WriteChrome(w)
+}
+
+// SummaryTable renders the recording as an aligned text table, one row per
+// span with children indented.
+func (t *Tracer) SummaryTable() string {
+	if t == nil {
+		return ""
+	}
+	return metrics.FormatTraceTable(t.rec.Export())
+}
+
+// recorder returns the underlying recorder (nil for a nil tracer), for
+// wiring into the internal build layers.
+func (t *Tracer) recorder() *trace.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}

@@ -1,0 +1,140 @@
+package lowmemroute
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lowmemroute/internal/trace"
+)
+
+// TestBuildTraceSpansMatchReport checks the tracing layer's core contract:
+// the top-level spans are exactly the Report.PhaseRounds entries, their
+// round deltas agree with the report, and they sum to the total.
+func TestBuildTraceSpansMatchReport(t *testing.T) {
+	net, err := Generate(ErdosRenyi, 96, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := NewTracer()
+	s, err := Build(net, Config{K: 2, Seed: 17, Trace: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+
+	var buf bytes.Buffer
+	if err := tracer.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := trace.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Spans) != len(rep.PhaseRounds) {
+		t.Fatalf("spans=%d phases=%d", len(ex.Spans), len(rep.PhaseRounds))
+	}
+	var sum int64
+	for _, sp := range ex.Spans {
+		want, ok := rep.PhaseRounds[sp.Name]
+		if !ok {
+			t.Fatalf("span %q has no PhaseRounds entry", sp.Name)
+		}
+		if sp.Rounds != want {
+			t.Fatalf("span %q rounds=%d, PhaseRounds=%d", sp.Name, sp.Rounds, want)
+		}
+		sum += sp.Rounds
+	}
+	if sum != rep.Rounds {
+		t.Fatalf("span rounds sum %d != report rounds %d", sum, rep.Rounds)
+	}
+	if ex.Counters.Rounds != rep.Rounds || ex.Counters.Messages != rep.Messages {
+		t.Fatalf("export counters %+v disagree with report", ex.Counters)
+	}
+	if len(ex.Samples) == 0 {
+		t.Fatal("no round samples recorded")
+	}
+	var sampleRounds int64
+	for _, sm := range ex.Samples {
+		sampleRounds += sm.Rounds
+	}
+	if sampleRounds != rep.Rounds {
+		t.Fatalf("sample rounds sum %d != report rounds %d", sampleRounds, rep.Rounds)
+	}
+}
+
+// TestTracingDoesNotPerturbBuild checks that a traced build produces an
+// identical scheme and report to an untraced one - tracing is observational.
+func TestTracingDoesNotPerturbBuild(t *testing.T) {
+	net, err := Generate(ErdosRenyi, 96, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(net, Config{K: 2, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Build(net, Config{K: 2, Seed: 18, Trace: NewTracer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, _ := json.Marshal(plain.Report())
+	tj, _ := json.Marshal(traced.Report())
+	if !bytes.Equal(pj, tj) {
+		t.Fatalf("reports differ:\nplain  %s\ntraced %s", pj, tj)
+	}
+}
+
+// TestBuildTreeTraceChromeExport runs the distributed tree-routing build
+// under a tracer and checks the Chrome trace_event export is well formed and
+// carries the construction's phases.
+func TestBuildTreeTraceChromeExport(t *testing.T) {
+	net, err := Generate(ErdosRenyi, 128, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := net.SpanningTree(0, "dfs", 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := NewTracer()
+	if _, err := BuildTree(net, tree, TreeConfig{Seed: 19, Trace: tracer}); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tracer.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+	slices := map[string]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			if e.Dur < 1 {
+				t.Fatalf("slice %q dur=%d", e.Name, e.Dur)
+			}
+			slices[e.Name] = true
+		}
+	}
+	for _, phase := range []string{"local-roots", "local-sizes", "global-sizes", "local-dfs", "global-shifts", "shifts-down"} {
+		if !slices[phase] {
+			t.Fatalf("missing phase slice %q; have %v", phase, slices)
+		}
+	}
+	if !strings.Contains(buf.String(), `"displayTimeUnit"`) {
+		t.Fatal("missing displayTimeUnit")
+	}
+	if table := tracer.SummaryTable(); !strings.Contains(table, "global-sizes") {
+		t.Fatalf("summary table missing phases:\n%s", table)
+	}
+}
