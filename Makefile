@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test vet race bench table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline race bench table1 table2 sweeps demo fmt
 
-all: build vet test race
+all: build vet lint test race
 
 build:
 	$(GO) build ./...
@@ -10,13 +10,27 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Model-invariant static analysis (cmd/lowmemlint): CONGEST isolation, meter
+# accounting, determinism, and wire-size honesty. The baseline file must stay
+# empty unless an entry carries a written justification; stale entries fail
+# the build.
+lint:
+	$(GO) vet ./cmd/lowmemlint ./internal/lint
+	$(GO) run ./cmd/lowmemlint -baseline lint.baseline.json ./internal/...
+
+# Regenerate the lint baseline from current findings. Only for grandfathering
+# a finding that cannot be fixed in the same change — add a reason to every
+# entry it writes.
+lint-baseline:
+	$(GO) run ./cmd/lowmemlint -write-baseline lint.baseline.json ./internal/...
+
 test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent engine and the per-round goroutine
 # pools (the packages where a data race could actually hide).
 race:
-	$(GO) test -race ./internal/congest/... ./internal/treeroute/...
+	$(GO) test -race ./internal/congest/... ./internal/treeroute/... ./internal/hopset/... ./internal/core/...
 
 # Full test run with the output captured (the repository's test record).
 test-record:

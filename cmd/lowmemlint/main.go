@@ -1,0 +1,131 @@
+// Command lowmemlint runs the repository's model-invariant static analyzer
+// suite (internal/lint) over the given package patterns.
+//
+// Usage:
+//
+//	lowmemlint [flags] [patterns]
+//
+// Patterns default to ./internal/...; a pattern ending in /... walks the
+// tree. Exit status is 0 when the run is clean, 1 when there are findings or
+// stale baseline entries, and 2 when packages fail to load or flags are
+// invalid.
+//
+// Flags:
+//
+//	-json                  emit the lowmemlint/v1 JSON report instead of text
+//	-baseline FILE         apply a baseline file; stale entries are errors
+//	-write-baseline FILE   write current findings as a fresh baseline and exit
+//	-enable a,b            run only the named analyzers
+//	-disable a,b           run all but the named analyzers
+//	-list                  list analyzers and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lowmemroute/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("lowmemlint", flag.ContinueOnError)
+	var (
+		jsonOut       = fs.Bool("json", false, "emit the lowmemlint/v1 JSON report")
+		baselinePath  = fs.String("baseline", "", "baseline file to apply (stale entries are errors)")
+		writeBaseline = fs.String("write-baseline", "", "write current findings to this baseline file and exit")
+		enable        = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable       = fs.String("disable", "", "comma-separated analyzers to skip")
+		list          = fs.Bool("list", false, "list analyzers and exit")
+	)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%s  %-16s %s\n", a.Code, a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers, err := lint.Select(splitList(*enable), splitList(*disable))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/..."}
+	}
+	dirs, err := lint.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+		return 2
+	}
+	res, err := lint.RunDirs(loader, dirs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+		return 2
+	}
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(res.Findings)
+		if err := lint.WriteBaseline(*writeBaseline, b); err != nil {
+			fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+			return 2
+		}
+		fmt.Printf("lowmemlint: wrote %d baseline entr(ies) to %s\n", len(b.Entries), *writeBaseline)
+		return 0
+	}
+
+	fresh := res.Findings
+	var stale []lint.BaselineEntry
+	baselined := 0
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+			return 2
+		}
+		fresh, stale = b.Apply(res.Findings)
+		baselined = len(res.Findings) - len(fresh)
+	}
+
+	report := lint.NewReport(fresh, stale, baselined)
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+			return 2
+		}
+	} else {
+		report.WriteText(os.Stdout)
+	}
+	if len(fresh) > 0 || len(stale) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

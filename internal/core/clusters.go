@@ -27,6 +27,21 @@ type centry struct {
 	force bool
 }
 
+// rootEst is one (root, estimate) pair of the H-step broadcast payload,
+// shipped root-sorted so the wire image is canonical.
+type rootEst struct {
+	root int
+	dist float64
+}
+
+// hMsg is the H-step broadcast payload of the approximate cluster growth: a
+// virtual vertex's limited estimates plus its hopset out-edges.
+type hMsg struct {
+	u    int
+	ests []rootEst
+	out  []hopset.Edge
+}
+
 // approxClusters grows the approximate clusters C̃(v) of every high-level
 // center by multi-root limited Bellman-Ford in G' ∪ H (the paper's
 // Approximate Clusters paragraph): per-iteration B-bounded explorations in
@@ -138,18 +153,20 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 
 		// H step: one broadcast; each virtual vertex ships its limited
 		// estimates for all clusters plus its (cluster-independent)
-		// out-edges.
-		type hMsg struct {
-			u    int
-			ests map[int]float64
-			out  []hopset.Edge
-		}
+		// out-edges. Estimates travel as a root-sorted slice: a map payload
+		// has no canonical wire image and would leak iteration order into
+		// the relaxation schedule.
 		var msgs []congest.BroadcastMsg
 		for _, u := range b.vg.Members() {
-			ests := make(map[int]float64)
-			for r, e := range est[u] {
-				if e.dist < virtCap(u) || u == r {
-					ests[r] = e.dist
+			rs := make([]int, 0, len(est[u]))
+			for r := range est[u] {
+				rs = append(rs, r)
+			}
+			sort.Ints(rs)
+			ests := make([]rootEst, 0, len(rs))
+			for _, r := range rs {
+				if e := est[u][r]; e.dist < virtCap(u) || u == r {
+					ests = append(ests, rootEst{root: r, dist: e.dist})
 				}
 			}
 			if len(ests) == 0 {
@@ -167,8 +184,9 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 				return
 			}
 			relax := func(weight float64) {
-				for r, d := range p.ests {
-					alt := d + weight
+				for _, re := range p.ests {
+					r := re.root
+					alt := re.dist + weight
 					cur, ok := est[w][r]
 					if ok && alt >= cur.dist {
 						continue
@@ -181,6 +199,7 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 					} else {
 						newEntry(w, r, centry{dist: alt, parent: graph.NoVertex, via: &via})
 					}
+					//lint:meterfree dirty is the growth loop's host-side worklist, not processor state; est entries are charged in newEntry
 					dirty[vr{w, r}] = true
 				}
 			}
@@ -270,11 +289,18 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 	}
 	// Protocol cost (pipelined notifications along all used paths).
 	b.sim.AddRounds(int64(maxPath) + 2*int64(b.sim.Diameter()))
-	// Final limited B-bounded exploration in G from every member estimate.
+	// Final limited B-bounded exploration in G from every member estimate,
+	// seeded in sorted root order (Explore's tie-breaking follows seed
+	// order, so map order must not pick the winners).
 	var srcs []hopset.Source
 	for v := 0; v < b.n; v++ {
-		for r, e := range est[v] {
-			if e.force || e.dist < hostCap(v) {
+		rs := make([]int, 0, len(est[v]))
+		for r := range est[v] {
+			rs = append(rs, r)
+		}
+		sort.Ints(rs)
+		for _, r := range rs {
+			if e := est[v][r]; e.force || e.dist < hostCap(v) {
 				srcs = append(srcs, hopset.Source{Root: r, At: v, Dist: e.dist})
 			}
 		}

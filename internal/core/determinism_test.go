@@ -1,0 +1,71 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/trace"
+)
+
+// TestBuildTraceByteIdentical is the determinism regression test behind
+// lowmemlint's LM003: two runs of the full construction with the same seed
+// must produce byte-identical trace exports (modulo wall time, the one field
+// that measures the host rather than the simulation). Any map-iteration
+// order leaking into the schedule shows up here as a diff in round counts,
+// message counts, or span structure.
+func TestBuildTraceByteIdentical(t *testing.T) {
+	const (
+		n    = 120
+		k    = 3
+		seed = 42
+	)
+	runOnce := func() []byte {
+		g, err := graph.Generate(graph.FamilyErdosRenyi, n, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := trace.NewRecorder()
+		sim := congest.New(g, congest.WithSeed(seed), congest.WithTrace(rec))
+		if _, err := Build(sim, Options{K: k, Seed: seed, Epsilon: 0.01, Trace: rec}); err != nil {
+			t.Fatal(err)
+		}
+		ex := rec.Export()
+		ex.StripWall()
+		var buf bytes.Buffer
+		if err := trace.WriteExportJSON(&buf, ex); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := runOnce()
+	second := runOnce()
+	if !bytes.Equal(first, second) {
+		limit := len(first)
+		if len(second) < limit {
+			limit = len(second)
+		}
+		at := limit
+		for i := 0; i < limit; i++ {
+			if first[i] != second[i] {
+				at = i
+				break
+			}
+		}
+		lo := at - 120
+		if lo < 0 {
+			lo = 0
+		}
+		hiA, hiB := at+120, at+120
+		if hiA > len(first) {
+			hiA = len(first)
+		}
+		if hiB > len(second) {
+			hiB = len(second)
+		}
+		t.Fatalf("same-seed runs diverge at byte %d:\nrun1: …%s…\nrun2: …%s…",
+			at, first[lo:hiA], second[lo:hiB])
+	}
+}

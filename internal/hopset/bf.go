@@ -2,6 +2,7 @@ package hopset
 
 import (
 	"fmt"
+	"sort"
 
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
@@ -26,6 +27,28 @@ type BFResult struct {
 	Origin     []int
 	Iterations int
 }
+
+// bEst is the H-step broadcast payload: a virtual vertex's estimate plus its
+// stored hopset out-edges.
+type bEst struct {
+	u   int
+	d   float64
+	out []Edge
+}
+
+// hopRelax is one pending hopset relaxation, held from the broadcast handler
+// to the end-of-iteration commit.
+type hopRelax struct {
+	d    float64
+	viaU int
+	viaW int // head of the hopset edge used (for path recovery)
+}
+
+const (
+	bEstHeadWords = 2 // bEst.u and bEst.d
+	edgeWords     = 3 // Edge: To, Weight, Level
+	hopRelaxWords = 3
+)
 
 // BellmanFord runs iterations of Bellman-Ford in G' ∪ H from a set-source
 // (Lemma 2): each iteration performs one B-bounded exploration in the host
@@ -101,11 +124,6 @@ func BellmanFord(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []S
 
 		// H step: every virtual vertex broadcasts its estimate and its
 		// stored out-edges; both endpoints of each edge relax.
-		type bEst struct {
-			u   int
-			d   float64
-			out []Edge
-		}
 		var msgs []congest.BroadcastMsg
 		for _, u := range vg.Members() {
 			if res.Dist[u] == graph.Infinity && len(hs.Out(u)) == 0 {
@@ -114,55 +132,51 @@ func BellmanFord(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []S
 			msgs = append(msgs, congest.BroadcastMsg{
 				Origin:  u,
 				Payload: bEst{u: u, d: res.Dist[u], out: hs.Out(u)},
-				Words:   2 + 3*len(hs.Out(u)),
+				Words:   bEstHeadWords + edgeWords*len(hs.Out(u)),
 			})
 		}
-		hopsetRelax := make(map[int]struct {
-			d    float64
-			viaU int
-			viaW int // head of the hopset edge used (for path recovery)
-		})
+		// Pending relaxations are per-vertex state held until the commit
+		// below: charge each vertex for its slot and release on commit.
+		hopsetRelax := make(map[int]hopRelax)
+		relax := func(v int, alt float64, viaU, viaW int) {
+			cur, ok := hopsetRelax[v]
+			if alt >= res.Dist[v] || (ok && alt >= cur.d) {
+				return
+			}
+			if !ok {
+				sim.Mem(v).Charge(hopRelaxWords)
+			}
+			hopsetRelax[v] = hopRelax{d: alt, viaU: viaU, viaW: viaW}
+		}
 		sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
 			p := m.Payload.(bEst)
-			if !vg.IsMember(v) {
+			if !vg.IsMember(v) || p.d == graph.Infinity {
 				return
 			}
 			// Forward direction: an out-edge (p.u -> w) relaxes w = v.
-			if p.d != graph.Infinity {
-				for _, e := range p.out {
-					if e.To != v {
-						continue
-					}
-					alt := p.d + e.Weight
-					cur, ok := hopsetRelax[v]
-					if alt < res.Dist[v] && (!ok || alt < cur.d) {
-						hopsetRelax[v] = struct {
-							d    float64
-							viaU int
-							viaW int
-						}{d: alt, viaU: p.u, viaW: v}
-					}
+			for _, e := range p.out {
+				if e.To == v {
+					relax(v, p.d+e.Weight, p.u, v)
 				}
 			}
 			// Reverse direction: v's own out-edge (v -> p.u) relaxes v.
-			if p.d != graph.Infinity {
-				for _, e := range hs.Out(v) {
-					if e.To != p.u {
-						continue
-					}
-					alt := p.d + e.Weight
-					cur, ok := hopsetRelax[v]
-					if alt < res.Dist[v] && (!ok || alt < cur.d) {
-						hopsetRelax[v] = struct {
-							d    float64
-							viaU int
-							viaW int
-						}{d: alt, viaU: p.u, viaW: p.u}
-					}
+			for _, e := range hs.Out(v) {
+				if e.To == p.u {
+					relax(v, p.d+e.Weight, p.u, p.u)
 				}
 			}
 		})
-		for v, rel := range hopsetRelax {
+		// Commit in sorted vertex order: res.Origin[rel.viaU] below may read
+		// an entry this same loop writes, so map order must not decide which
+		// value it sees.
+		relaxed := make([]int, 0, len(hopsetRelax))
+		for v := range hopsetRelax {
+			relaxed = append(relaxed, v)
+		}
+		sort.Ints(relaxed)
+		for _, v := range relaxed {
+			rel := hopsetRelax[v]
+			sim.Mem(v).Release(hopRelaxWords)
 			if rel.d < res.Dist[v] {
 				res.Dist[v] = rel.d
 				res.Origin[v] = res.Origin[rel.viaU]

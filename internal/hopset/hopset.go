@@ -126,9 +126,17 @@ func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, err
 			sim.Mem(v).Charge(3 * int64(len(res.Entries[v])))
 		}
 
-		// Bunch edges: u -> w for every center w whose cluster reached u.
+		// Bunch edges: u -> w for every center w whose cluster reached u,
+		// added in sorted center order so hs.out slices (and therefore the
+		// BF broadcast payloads built from them) never depend on map order.
 		for _, u := range vg.Members() {
-			for w, e := range res.Entries[u] {
+			centers := make([]int, 0, len(res.Entries[u]))
+			for w := range res.Entries[u] {
+				centers = append(centers, w)
+			}
+			sort.Ints(centers)
+			for _, w := range centers {
+				e := res.Entries[u][w]
 				if w == u || !inLevel[w] {
 					continue
 				}

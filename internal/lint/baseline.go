@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineSchema identifies the baseline file layout.
+const BaselineSchema = "lowmemlint.baseline/v1"
+
+// BaselineEntry grandfathers findings matching (File, Code, Message) —
+// line-independent, so unrelated edits don't invalidate the baseline. Count
+// is how many identical findings the entry covers; Reason documents why the
+// finding is tolerated (required: an unjustified baseline is just a
+// suppressed bug).
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// Baseline is the checked-in set of grandfathered findings.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+type baselineKey struct {
+	File    string
+	Code    string
+	Message string
+}
+
+// NewBaseline builds a baseline covering all given findings.
+func NewBaseline(findings []Diagnostic) Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range findings {
+		counts[baselineKey{d.File, d.Code, d.Message}]++
+	}
+	b := Baseline{Schema: BaselineSchema}
+	for k, c := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{File: k.File, Code: k.Code, Message: k.Message, Count: c})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Code != c.Code {
+			return a.Code < c.Code
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// ReadBaseline loads and validates a baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return b, fmt.Errorf("lint: baseline %s: unsupported schema %q (want %q)", path, b.Schema, BaselineSchema)
+	}
+	return b, nil
+}
+
+// WriteBaseline writes b to path.
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply splits findings into new (unbaselined) findings and stale baseline
+// entries. A stale entry — one that no current finding matches, or whose
+// count exceeds the current occurrences — is an error condition for callers:
+// the baseline must shrink with the code, never silently outlive it.
+func (b Baseline) Apply(findings []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[baselineKey]int)
+	for _, e := range b.Entries {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey{e.File, e.Code, e.Message}] += n
+	}
+	for _, d := range findings {
+		k := baselineKey{d.File, d.Code, d.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.File, e.Code, e.Message}
+		if budget[k] > 0 {
+			leftover := e
+			leftover.Count = budget[k]
+			stale = append(stale, leftover)
+			budget[k] = 0 // attribute leftovers to the first duplicate entry
+		}
+	}
+	return fresh, stale
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerDeterminism builds the LM003 analyzer. Simulator output must be a
+// pure function of the seed (the bit-identical trace contract verified in
+// PR 1), so code in simulator packages may not let Go's randomized map
+// iteration order leak into schedules or results, and may not consult wall
+// clocks or the global math/rand state. Flagged inside `range` over a map:
+//
+//   - message emission (Ctx.Send, Simulator.Broadcast/Convergecast);
+//   - appending to a slice declared outside the loop, unless the slice is
+//     passed to a sort.* / slices.* call later in the same function (the
+//     collect-keys-then-sort idiom);
+//   - reading and writing elements of the same outer container at
+//     different indices (one key's result observing another's).
+//
+// Package-wide: time.Now and package-level math/rand functions other than
+// the rand.New/rand.NewSource constructors (seeded *rand.Rand values are
+// the supported randomness source).
+func analyzerDeterminism() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Code: "LM003",
+		Doc:  "no map-iteration-order-dependent schedules, wall clocks, or global RNG in simulator packages",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(p *Pass) {
+	if !simulatorScoped(p.Pkg) {
+		return
+	}
+	info := p.Pkg.Info
+
+	for _, f := range p.Pkg.Files {
+		// Walk functions so each range statement can consult its enclosing
+		// function for the collect-then-sort exemption.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFuncDeterminism(p, info, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Visited through the enclosing declaration's body walk.
+			}
+			return true
+		})
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if obj.Name() == "Now" && obj.Type().(*types.Signature).Recv() == nil {
+					p.Reportf(call.Pos(), "time.Now in a simulator package; simulated time is the round counter, wall time breaks run reproducibility")
+				}
+			case "math/rand", "math/rand/v2":
+				if obj.Type().(*types.Signature).Recv() != nil {
+					return true // methods on a seeded *rand.Rand are fine
+				}
+				switch obj.Name() {
+				case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+					return true // constructors for seeded generators
+				}
+				p.Reportf(call.Pos(), "global math/rand.%s in a simulator package; thread a seeded *rand.Rand instead", obj.Name())
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncDeterminism inspects one function body (including nested
+// literals) for map-order-dependent range statements.
+func checkFuncDeterminism(p *Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRange(p, info, body, rs)
+		return true
+	})
+}
+
+func checkMapRange(p *Pass, info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	mapName := types.ExprString(rs.X)
+
+	// Rule 1: message emission inside the loop.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				if isCongestNamed(s.Recv(), "Ctx") && sel.Sel.Name == "Send" {
+					p.Reportf(call.Pos(), "message emission inside iteration over map %s; the send schedule depends on map order — iterate sorted keys", mapName)
+				}
+				if isCongestNamed(s.Recv(), "Simulator") && (sel.Sel.Name == "Broadcast" || sel.Sel.Name == "Convergecast") {
+					p.Reportf(call.Pos(), "broadcast inside iteration over map %s; the message order depends on map order — iterate sorted keys", mapName)
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 2: appends to slices declared outside the loop, minus the
+	// collect-then-sort idiom.
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+				continue
+			}
+			if i >= len(as.Lhs) {
+				continue
+			}
+			target, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue // appends through selectors/indices: handled by rule 3
+			}
+			obj := info.Uses[target]
+			if obj == nil {
+				obj = info.Defs[target]
+			}
+			if obj == nil || insideRange(obj.Pos(), rs) {
+				continue
+			}
+			if sortedAfter(info, fnBody, rs, obj) {
+				continue
+			}
+			p.Reportf(as.Pos(), "append to %s inside iteration over map %s makes its element order depend on map order; sort afterwards or iterate sorted keys", target.Name, mapName)
+		}
+		return true
+	})
+
+	// Rule 3: reading and writing an outer container at different indices —
+	// one key's result can observe another key's update, so the outcome
+	// depends on iteration order.
+	type access struct {
+		node  *ast.IndexExpr
+		index string
+	}
+	reads := make(map[string][]access)
+	writes := make(map[string][]access)
+	writeNodes := make(map[*ast.IndexExpr]bool)
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if ix, ok := lhs.(*ast.IndexExpr); ok {
+				writeNodes[ix] = true
+				writes[types.ExprString(ix.X)] = append(writes[types.ExprString(ix.X)], access{ix, types.ExprString(ix.Index)})
+			}
+		}
+		return true
+	})
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok || writeNodes[ix] {
+			return true
+		}
+		reads[types.ExprString(ix.X)] = append(reads[types.ExprString(ix.X)], access{ix, types.ExprString(ix.Index)})
+		return true
+	})
+	for base, ws := range writes {
+		rds, ok := reads[base]
+		if !ok {
+			continue
+		}
+		for _, w := range ws {
+			for _, r := range rds {
+				if w.index != r.index {
+					p.Reportf(rs.Pos(), "iteration over map %s writes %s[%s] and reads %s[%s]; one key's result can observe another's, so the outcome depends on map order", mapName, base, w.index, base, r.index)
+					return
+				}
+			}
+		}
+	}
+}
+
+// insideRange reports whether a declaration position lies within the range
+// statement (loop-local slices reset every key, so their order is moot).
+func insideRange(pos token.Pos, rs *ast.RangeStmt) bool {
+	return rs.Pos() <= pos && pos < rs.End()
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// after the range statement within the same function body.
+func sortedAfter(info *types.Info, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

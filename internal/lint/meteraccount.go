@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerMeterAccount builds the LM002 analyzer: allocations made by
+// per-vertex handler code (make of a map or slice, append, map/slice
+// composite literals, map inserts) must be paired with a congest.Meter
+// charge in the same function, or carry an explicit //lint:meterfree waiver.
+// Unmetered allocation in a handler is exactly how the paper's per-vertex
+// memory bounds (Theorems 2 and 3) silently rot: the Go heap grows, the
+// meter doesn't.
+func analyzerMeterAccount() *Analyzer {
+	return &Analyzer{
+		Name: "meteraccount",
+		Code: "LM002",
+		Doc:  "handler allocations must be charged to the vertex's Meter or waived with //lint:meterfree",
+		Run:  runMeterAccount,
+	}
+}
+
+func runMeterAccount(p *Pass) {
+	// The congest engine itself manages the meters; the rule targets the
+	// algorithm phase packages.
+	if !simulatorScoped(p.Pkg) || pathBase(p.Pkg.Path) == "congest" {
+		return
+	}
+	info := p.Pkg.Info
+
+	for _, h := range vertexHandlers(p.Pkg) {
+		charged := make(map[ast.Node]bool) // enclosing funcs known to charge
+		hasCharge := func(fn ast.Node) bool {
+			if v, ok := charged[fn]; ok {
+				return v
+			}
+			found := false
+			ast.Inspect(fn, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal &&
+						isCongestNamed(s.Recv(), "Meter") &&
+						(sel.Sel.Name == "Charge" || sel.Sel.Name == "Spike") {
+						found = true
+					}
+				}
+				return !found
+			})
+			charged[fn] = found
+			return found
+		}
+
+		report := func(n ast.Node, what string) {
+			if hasCharge(enclosingFunc(h.node, n)) {
+				return
+			}
+			p.Reportf(n.Pos(), "%s in per-vertex handler code with no Meter charge in the same function; charge it via ctx.Mem() or waive with //lint:meterfree <reason>", what)
+		}
+
+		ast.Inspect(h.body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if b, ok := info.Uses[id].(*types.Builtin); ok {
+						switch b.Name() {
+						case "make":
+							if tv, ok := info.Types[n]; ok && isMapOrSlice(tv.Type) {
+								report(n, "make allocates")
+							}
+						case "append":
+							report(n, "append allocates")
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := info.Types[n]; ok && isMapOrSlice(tv.Type) {
+					report(n, "composite literal allocates")
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					ix, ok := lhs.(*ast.IndexExpr)
+					if !ok {
+						continue
+					}
+					if tv, ok := info.Types[ix.X]; ok {
+						if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+							report(ix, "map insert retains state")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMapOrSlice(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}

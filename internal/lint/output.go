@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReportSchema identifies the -json output layout.
+const ReportSchema = "lowmemlint/v1"
+
+// Report is the machine-readable run outcome.
+type Report struct {
+	Schema   string          `json:"schema"`
+	Findings []Diagnostic    `json:"findings"`
+	Stale    []BaselineEntry `json:"staleBaseline,omitempty"`
+	Summary  ReportSummary   `json:"summary"`
+}
+
+// ReportSummary aggregates the run.
+type ReportSummary struct {
+	Findings  int `json:"findings"`
+	Baselined int `json:"baselined"`
+	Stale     int `json:"stale"`
+}
+
+// NewReport assembles the report for fresh findings after baseline
+// application. baselined is the number of findings the baseline absorbed.
+func NewReport(fresh []Diagnostic, stale []BaselineEntry, baselined int) Report {
+	if fresh == nil {
+		fresh = []Diagnostic{}
+	}
+	return Report{
+		Schema:   ReportSchema,
+		Findings: fresh,
+		Stale:    stale,
+		Summary:  ReportSummary{Findings: len(fresh), Baselined: baselined, Stale: len(stale)},
+	}
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the human-readable report: one line per finding in the
+// canonical file:line:col: CODE(analyzer): message form, then stale baseline
+// entries, then a one-line summary.
+func (r Report) WriteText(w io.Writer) {
+	for _, d := range r.Findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s(%s): %s\n", d.File, d.Line, d.Col, d.Code, d.Analyzer, d.Message)
+	}
+	for _, e := range r.Stale {
+		fmt.Fprintf(w, "stale baseline entry (fix landed? regenerate with make lint-baseline): %s %s %q x%d\n",
+			e.File, e.Code, e.Message, e.Count)
+	}
+	if len(r.Findings) == 0 && len(r.Stale) == 0 {
+		if r.Summary.Baselined > 0 {
+			fmt.Fprintf(w, "lowmemlint: clean (%d baselined)\n", r.Summary.Baselined)
+		} else {
+			fmt.Fprintln(w, "lowmemlint: clean")
+		}
+		return
+	}
+	fmt.Fprintf(w, "lowmemlint: %d finding(s), %d baselined, %d stale baseline entr(ies)\n",
+		r.Summary.Findings, r.Summary.Baselined, r.Summary.Stale)
+}

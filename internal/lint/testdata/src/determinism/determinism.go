@@ -1,0 +1,55 @@
+//lint:simulator
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"lowmemroute/internal/congest"
+)
+
+const oneWord = 1
+
+func emit(ctx *congest.Ctx, peers map[int]float64) {
+	for w := range peers {
+		ctx.Send(w, nil, oneWord) // want `send schedule depends on map order`
+	}
+}
+
+func emitWaived(ctx *congest.Ctx, peers map[int]float64) {
+	for w := range peers {
+		//lint:waive determinism peers is a singleton in this phase
+		ctx.Send(w, nil, oneWord)
+	}
+}
+
+func collect(peers map[int]bool) []int {
+	var keys []int
+	for w := range peers {
+		keys = append(keys, w) // collect-then-sort: exempt
+	}
+	sort.Ints(keys)
+	var bad []int
+	for w := range peers {
+		bad = append(bad, w) // want `order depend on map order`
+	}
+	return append(keys, bad...)
+}
+
+func crossKey(m map[int]int, res []int) {
+	for k, v := range m { // want `outcome depends on map order`
+		res[k] = res[v]
+	}
+}
+
+func clock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a simulator package`
+}
+
+func roll(seeded *rand.Rand) int {
+	_ = seeded.Intn(6)
+	local := rand.New(rand.NewSource(7))
+	_ = local
+	return rand.Intn(6) // want `global math/rand.Intn`
+}

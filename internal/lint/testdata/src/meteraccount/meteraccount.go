@@ -1,0 +1,31 @@
+//lint:simulator
+package meteraccount
+
+import "lowmemroute/internal/congest"
+
+type st struct {
+	buf  []int
+	seen map[int]bool
+}
+
+func good(v int, ctx *congest.Ctx, s *st) {
+	s.buf = append(s.buf, v)
+	ctx.Mem().Charge(1)
+}
+
+func bad(v int, ctx *congest.Ctx, s *st) {
+	s.buf = append(s.buf, v) // want `append allocates`
+	s.seen[v] = true         // want `map insert retains state`
+}
+
+func waived(v int, ctx *congest.Ctx, s *st) {
+	//lint:meterfree scratch cleared every round, charged at commit
+	s.buf = append(s.buf, v)
+}
+
+func maker(v int, ctx *congest.Ctx) map[int]int {
+	m := make(map[int]int) // want `make allocates`
+	lit := []int{v}        // want `composite literal allocates`
+	_ = lit
+	return m
+}

@@ -1,0 +1,35 @@
+//lint:simulator
+package wiresize
+
+import "lowmemroute/internal/congest"
+
+type ping struct{ from, round int }
+
+const pingWords = 3
+
+type leaky struct {
+	id   int
+	seen map[int]bool
+}
+
+type boxed struct {
+	id  int
+	ptr *int
+}
+
+func send(v int, ctx *congest.Ctx, list []int) {
+	ctx.Send(v, ping{from: v}, 2) // want `bare integer literal 2`
+	ctx.Send(v, ping{from: v}, pingWords)
+	ctx.Send(v, list, 1+len(list))
+	ctx.Send(v, leaky{id: v}, pingWords) // want `field seen of a map`
+	ctx.Send(v, boxed{id: v}, pingWords) // want `field ptr of a pointer`
+	ctx.Send(v, nil, pingWords)
+}
+
+func bcast(v int) congest.BroadcastMsg {
+	return congest.BroadcastMsg{Origin: v, Payload: ping{}, Words: 4} // want `bare integer literal 4`
+}
+
+func bcastOK(v int) congest.BroadcastMsg {
+	return congest.BroadcastMsg{Origin: v, Payload: ping{}, Words: pingWords}
+}

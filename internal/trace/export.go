@@ -74,11 +74,32 @@ func (r *Recorder) Export() Export {
 	return out
 }
 
+// StripWall zeroes every span's WallNanos, recursively. Wall time is the one
+// nondeterministic field of an export: with it removed, two runs of the same
+// seeded simulation must serialise to byte-identical JSON (the determinism
+// contract enforced by lowmemlint's LM003 and the regression tests).
+func (e *Export) StripWall() {
+	var walk func(spans []SpanExport)
+	walk = func(spans []SpanExport) {
+		for i := range spans {
+			spans[i].WallNanos = 0
+			walk(spans[i].Children)
+		}
+	}
+	walk(e.Spans)
+}
+
 // WriteJSON writes the schema-versioned JSON export.
 func (r *Recorder) WriteJSON(w io.Writer) error {
+	return WriteExportJSON(w, r.Export())
+}
+
+// WriteExportJSON serialises an already-snapshotted (and possibly
+// normalised, see StripWall) export in the same layout as WriteJSON.
+func WriteExportJSON(w io.Writer, e Export) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Export())
+	return enc.Encode(e)
 }
 
 // ReadJSON parses a JSON export, rejecting unknown schema versions.

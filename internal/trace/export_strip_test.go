@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStripWallZeroesAllSpans(t *testing.T) {
+	e := Export{
+		Schema: SchemaVersion,
+		Spans: []SpanExport{{
+			Name: "root", WallNanos: 10,
+			Children: []SpanExport{
+				{Name: "a", WallNanos: 20},
+				{Name: "b", WallNanos: 30, Children: []SpanExport{{Name: "c", WallNanos: 40}}},
+			},
+		}},
+	}
+	e.StripWall()
+	var check func(spans []SpanExport)
+	check = func(spans []SpanExport) {
+		for _, sp := range spans {
+			if sp.WallNanos != 0 {
+				t.Errorf("span %s: WallNanos = %d after StripWall", sp.Name, sp.WallNanos)
+			}
+			check(sp.Children)
+		}
+	}
+	check(e.Spans)
+
+	var buf bytes.Buffer
+	if err := WriteExportJSON(&buf, e); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"wallNanos": 4`) {
+		t.Error("serialised export still carries a wall time")
+	}
+	if got, err := ReadJSON(&buf); err != nil || len(got.Spans) != 1 {
+		t.Fatalf("round trip: %v %v", got, err)
+	}
+}

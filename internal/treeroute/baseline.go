@@ -203,13 +203,15 @@ func BuildBaseline(sim *congest.Simulator, t *graph.Tree, opts DistOptions) (*Ba
 	virt := BuildCentralized(vt)
 
 	// Cost model (per EN16b): four local flood phases bounded by the local
-	// tree heights; convergecast of T' (2 words per portal) to the root;
-	// broadcast of the T' scheme (interval + parent + heavy per portal).
+	// tree heights; convergecast of T' (virtConvWords per portal: the portal
+	// id and its virtual parent) to the root; broadcast of the T' scheme
+	// (interval + parent + heavy per portal).
+	const virtConvWords = 2
 	sim.AddRounds(int64(4 * (maxLocalHeight + 1)))
 	var cmsgs, bmsgs []congest.BroadcastMsg
 	var virtSchemeWords int64
 	for _, x := range portals {
-		cmsgs = append(cmsgs, congest.BroadcastMsg{Origin: x, Words: 2})
+		cmsgs = append(cmsgs, congest.BroadcastMsg{Origin: x, Words: virtConvWords})
 		w := 4 + virt.Labels[x].Words()
 		bmsgs = append(bmsgs, congest.BroadcastMsg{Origin: x, Words: w})
 		virtSchemeWords += int64(w)

@@ -173,10 +173,11 @@ type treeState struct {
 
 	// Per-iteration scratch for the pointer-jumping stages (commit targets
 	// so broadcast handling stays synchronous).
-	tmpA []int
-	tmpS []int
-	tmpQ []int
-	tmpL [][]LightEdge
+	tmpA   []int
+	tmpS   []int
+	tmpQ   []int
+	tmpL   [][]LightEdge
+	tmpGot []bool
 }
 
 func newTreeState(idx int, t *graph.Tree, q float64, maxOffset int, rng *rand.Rand) *treeState {

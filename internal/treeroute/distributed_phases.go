@@ -5,7 +5,6 @@ import (
 	"math/bits"
 
 	"lowmemroute/internal/congest"
-	"lowmemroute/internal/graph"
 )
 
 // Message payloads. Every payload carries its tree index t; word counts
@@ -36,6 +35,21 @@ type (
 	bShift struct{ t, x, q int } // Algorithm 6 broadcast
 )
 
+// Word counts for the fixed-size payloads above: one word per field, in
+// declaration order. Variable-size payloads (pLight, pGLight, bLight) are
+// sized at the send site from lightWords.
+const (
+	pRootWords  = 2
+	pSizeWords  = 2
+	pIdxWords   = 2
+	pAddWords   = 3
+	pFwdWords   = 3
+	pRangeWords = 2
+	pShiftWords = 2
+	bSizeWords  = 4
+	bShiftWords = 3
+)
+
 func lightWords(list []LightEdge) int { return 2 * len(list) }
 
 // phaseLocalRoots implements the first flood of Section 3.1: every portal
@@ -55,7 +69,7 @@ func (b *distBuilder) phaseLocalRoots() error {
 				st.localRoot[l] = v
 				ctx.Mem().Charge(1)
 				for _, c := range st.tree.Children(v) {
-					ctx.Send(c, pRoot{t: st.idx, root: v}, 2)
+					ctx.Send(c, pRoot{t: st.idx, root: v}, pRootWords)
 				}
 			}
 		}
@@ -74,7 +88,7 @@ func (b *distBuilder) phaseLocalRoots() error {
 			st.localRoot[l] = p.root
 			ctx.Mem().Charge(1)
 			for _, c := range st.tree.Children(v) {
-				ctx.Send(c, p, 2)
+				ctx.Send(c, p, pRootWords)
 			}
 		}
 	})
@@ -95,11 +109,11 @@ func (b *distBuilder) phaseLocalSizes() error {
 			st.pjS[l] = st.acc[l] // s_0(x) = |T_x|
 			ctx.Mem().Charge(1)
 			if v != st.tree.Root {
-				ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: 0}, 2)
+				ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: 0}, pSizeWords)
 			}
 			return
 		}
-		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, 2)
+		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, pSizeWords)
 	}
 	initial := b.union(func(st *treeState, l int) bool { return st.pending[l] == 0 })
 	return b.runPhase("local-sizes", initial, func(v int, ctx *congest.Ctx) {
@@ -156,7 +170,7 @@ func (b *distBuilder) phaseGlobalSizes() {
 					msgs = append(msgs, congest.BroadcastMsg{
 						Origin:  v,
 						Payload: bSize{t: st.idx, x: v, a: st.pjA[l], s: st.pjS[l]},
-						Words:   4,
+						Words:   bSizeWords,
 					})
 				}
 			}
@@ -217,7 +231,7 @@ func (b *distBuilder) phaseSizesDown() error {
 		}
 		st.size[l] = st.acc[l]
 		ctx.Mem().Charge(1)
-		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, 2)
+		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, pSizeWords)
 	}
 	kick := func(st *treeState, l int) bool {
 		return (st.inU[l] && st.verts[l] != st.tree.Root) || st.pending[l] == 0
@@ -234,7 +248,7 @@ func (b *distBuilder) phaseSizesDown() error {
 			} else if ctx.Round() == st.offset {
 				st.kicked[l] = true
 				if st.inU[l] && v != st.tree.Root {
-					ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.size[l]}, 2)
+					ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.size[l]}, pSizeWords)
 				}
 				if st.pending[l] == 0 {
 					complete(st, v, l, ctx)
@@ -321,6 +335,7 @@ func (b *distBuilder) phaseLocalLight() error {
 func (b *distBuilder) phaseGlobalLight() {
 	for _, st := range b.ts {
 		st.tmpL = make([][]LightEdge, len(st.verts))
+		st.tmpGot = make([]bool, len(st.verts))
 	}
 	for i := 0; i < b.iters; i++ {
 		var msgs []congest.BroadcastMsg
@@ -328,6 +343,7 @@ func (b *distBuilder) phaseGlobalLight() {
 			for l, v := range st.verts {
 				if st.inU[l] {
 					st.tmpL[l] = nil
+					st.tmpGot[l] = false
 					msgs = append(msgs, congest.BroadcastMsg{
 						Origin:  v,
 						Payload: bLight{t: st.idx, x: v, list: st.lightGlobal[l]},
@@ -336,6 +352,9 @@ func (b *distBuilder) phaseGlobalLight() {
 				}
 			}
 		}
+		// The handler only records the received list; the merge (which
+		// allocates and changes the vertex's stored state) happens in the
+		// commit loop below, where the growth is charged to the meter.
 		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
 			p := m.Payload.(bLight)
 			st := b.ts[p.t]
@@ -343,17 +362,18 @@ func (b *distBuilder) phaseGlobalLight() {
 			if !ok || !st.inU[l] || st.anc[l][i] != p.x {
 				return
 			}
-			// L_{i+1}(v) = L_i(a_i(v)) ++ L_i(v)
-			merged := make([]LightEdge, 0, len(p.list)+len(st.lightGlobal[l]))
-			merged = append(merged, p.list...)
-			merged = append(merged, st.lightGlobal[l]...)
-			st.tmpL[l] = merged
+			st.tmpL[l] = p.list // L_i(a_i(v))
+			st.tmpGot[l] = true
 		})
 		for _, st := range b.ts {
 			for l, v := range st.verts {
-				if st.inU[l] && st.anc[l][i] != graph.NoVertex {
-					grow := lightWords(st.tmpL[l]) - lightWords(st.lightGlobal[l])
-					st.lightGlobal[l] = st.tmpL[l]
+				if st.inU[l] && st.tmpGot[l] {
+					// L_{i+1}(v) = L_i(a_i(v)) ++ L_i(v)
+					merged := make([]LightEdge, 0, len(st.tmpL[l])+len(st.lightGlobal[l]))
+					merged = append(merged, st.tmpL[l]...)
+					merged = append(merged, st.lightGlobal[l]...)
+					grow := lightWords(merged) - lightWords(st.lightGlobal[l])
+					st.lightGlobal[l] = merged
 					b.sim.Mem(v).Charge(int64(grow))
 				}
 			}
@@ -421,7 +441,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 			return
 		}
 		st.sentAdd[l] = true
-		ctx.Send(st.tree.Parent(v), pAdd{t: st.idx, idx: st.sibIdx[l], val: st.size[l] + st.lowSum[l]}, 3)
+		ctx.Send(st.tree.Parent(v), pAdd{t: st.idx, idx: st.sibIdx[l], val: st.size[l] + st.lowSum[l]}, pAddWords)
 	}
 	maybeComplete := func(st *treeState, v, l int, ctx *congest.Ctx) {
 		if st.dfsDone[l] {
@@ -442,7 +462,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 		st.haveIn[l] = true
 		ctx.Mem().Charge(2)
 		for _, c := range st.tree.Children(v) {
-			ctx.Send(c, pRange{t: st.idx, a: start}, 2)
+			ctx.Send(c, pRange{t: st.idx, a: start}, pRangeWords)
 		}
 	}
 	kick := func(st *treeState, l int) bool {
@@ -465,7 +485,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 			} else if ctx.Round() == st.offset {
 				st.kicked[l] = true
 				for i, c := range st.tree.Children(v) {
-					ctx.Send(c, pIdx{t: st.idx, idx: i + 1}, 2)
+					ctx.Send(c, pIdx{t: st.idx, idx: i + 1}, pIdxWords)
 				}
 				if st.inU[l] {
 					st.localIn[l] = 1
@@ -475,7 +495,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 						st.haveQ[l] = true // q_z = 0
 					}
 					for _, c := range st.tree.Children(v) {
-						ctx.Send(c, pRange{t: st.idx, a: 1}, 2)
+						ctx.Send(c, pRange{t: st.idx, a: 1}, pRangeWords)
 					}
 				}
 			}
@@ -496,7 +516,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 				i := bits.TrailingZeros(uint(p.idx))
 				children := st.tree.Children(v)
 				for tgt := p.idx + 1; tgt <= p.idx+(1<<i) && tgt <= len(children); tgt++ {
-					ctx.Send(children[tgt-1], pFwd{t: p.t, iter: i, val: p.val}, 3)
+					ctx.Send(children[tgt-1], pFwd{t: p.t, iter: i, val: p.val}, pFwdWords)
 				}
 			case pFwd:
 				st := b.ts[p.t]
@@ -552,7 +572,7 @@ func (b *distBuilder) phaseGlobalShifts() {
 					msgs = append(msgs, congest.BroadcastMsg{
 						Origin:  v,
 						Payload: bShift{t: st.idx, x: v, q: st.shift[l]},
-						Words:   3,
+						Words:   bShiftWords,
 					})
 				}
 			}
@@ -596,7 +616,7 @@ func (b *distBuilder) phaseShiftsDown() error {
 			} else if ctx.Round() == st.offset {
 				finalize(st, l, st.shift[l], ctx)
 				for _, c := range st.tree.Children(v) {
-					ctx.Send(c, pShift{t: st.idx, shift: st.shift[l]}, 2)
+					ctx.Send(c, pShift{t: st.idx, shift: st.shift[l]}, pShiftWords)
 				}
 			}
 		}
@@ -612,7 +632,7 @@ func (b *distBuilder) phaseShiftsDown() error {
 			}
 			finalize(st, l, p.shift, ctx)
 			for _, c := range st.tree.Children(v) {
-				ctx.Send(c, p, 2)
+				ctx.Send(c, p, pShiftWords)
 			}
 		}
 	})
