@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline race bench table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline race bench bench-json bench-diff table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -38,6 +38,26 @@ test-record:
 
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Benchmark-regression snapshot (internal/benchfmt, schema
+# lowmemroute.bench/v1): the congest hot-path micro-benchmarks at full
+# precision plus one deterministic pass over the paper tables, rendered as
+# BENCH_$(BENCH_TAG).json. The committed BENCH_PR3.json was produced by
+# `make bench-json BENCH_TAG=PR3`.
+BENCH_TAG ?= local
+bench-json:
+	{ $(GO) test -bench 'BenchmarkRunFlood|BenchmarkRunSparse|BenchmarkDelivery' -benchmem ./internal/congest; \
+	  $(GO) test -bench 'BenchmarkTable[12]' -benchtime 1x -benchmem .; } \
+	| $(GO) run ./cmd/benchdiff -emit -tag $(BENCH_TAG) > BENCH_$(BENCH_TAG).json
+	@echo wrote BENCH_$(BENCH_TAG).json
+
+# Compare two snapshots: fails on >30% ns/B/allocs regression or on ANY
+# change in a simulation metric (rounds, mem-words, ...). Usage:
+#   make bench-diff OLD=BENCH_PR3.json NEW=BENCH_local.json
+OLD ?= BENCH_PR3.json
+NEW ?= BENCH_local.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW)
 
 # Regenerate the paper's tables and sweeps (EXPERIMENTS.md).
 table1:

@@ -1,0 +1,82 @@
+// Command benchdiff is the benchmark-regression harness CLI (package
+// internal/benchfmt). It has two modes:
+//
+//	go test -bench ... -benchmem | benchdiff -emit -tag PR3 > BENCH_PR3.json
+//	benchdiff -old BENCH_PR3.json -new BENCH_local.json [-max-regress 0.30]
+//
+// -emit parses `go test -bench` text output on stdin and writes a
+// schema-versioned snapshot (lowmemroute.bench/v1) to stdout; the diff mode
+// compares two snapshots and exits non-zero when a host-measured column
+// (ns/op, B/op, allocs/op) regresses beyond the threshold or a simulation
+// metric (rounds, memory words, ...) changes at all. `make bench-json` and
+// `make bench-diff` wrap both modes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lowmemroute/internal/benchfmt"
+)
+
+func main() {
+	var (
+		emit       = flag.Bool("emit", false, "parse `go test -bench` output on stdin and emit a snapshot JSON on stdout")
+		tag        = flag.String("tag", "local", "snapshot tag recorded in the emitted JSON (e.g. PR3)")
+		oldPath    = flag.String("old", "", "baseline snapshot JSON (diff mode)")
+		newPath    = flag.String("new", "", "candidate snapshot JSON (diff mode)")
+		maxRegress = flag.Float64("max-regress", 0.30, "allowed relative regression of ns/op, B/op and allocs/op (0.30 = +30%)")
+		allocFloor = flag.Float64("alloc-floor", 0, "ignore allocs/op regressions at or under this absolute count")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit:
+		snap, err := benchfmt.Parse(os.Stdin, *tag)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if len(snap.Benchmarks) == 0 {
+			fatalf("no benchmark rows found on stdin")
+		}
+		if err := benchfmt.WriteJSON(os.Stdout, snap); err != nil {
+			fatalf("write: %v", err)
+		}
+	case *oldPath != "" && *newPath != "":
+		old := readSnapshot(*oldPath)
+		new := readSnapshot(*newPath)
+		deltas := benchfmt.Diff(old, new, benchfmt.DiffOptions{
+			MaxRegress: *maxRegress,
+			AllocFloor: *allocFloor,
+		})
+		report, ok := benchfmt.FormatDeltas(deltas)
+		fmt.Print(report)
+		if !ok {
+			fatalf("regression against %s (limit +%.0f%%)", *oldPath, *maxRegress*100)
+		}
+		fmt.Printf("benchdiff: %s -> %s ok\n", old.Tag, new.Tag)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -emit -tag TAG < bench.txt   |   benchdiff -old A.json -new B.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+}
+
+func readSnapshot(path string) *benchfmt.Snapshot {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	s, err := benchfmt.ReadJSON(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,291 @@
+// Package benchfmt implements the benchmark-regression harness behind
+// `make bench-json` and `make bench-diff`: it parses the text output of
+// `go test -bench`, renders it as a schema-versioned snapshot
+// (BENCH_<tag>.json, schema lowmemroute.bench/v1), and diffs two snapshots
+// with a relative-regression threshold so CI and future perf PRs are judged
+// against a committed trajectory point instead of anecdotes.
+//
+// Wall-clock and byte columns are compared within a tolerance (they measure
+// the host); custom metrics emitted with b.ReportMetric - rounds, memory
+// words, message counts - are simulation outputs and must match exactly: a
+// drift there is a behaviour change, not a perf regression.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema is the snapshot schema identifier; bump on incompatible change.
+const Schema = "lowmemroute.bench/v1"
+
+// Benchmark is one benchmark result row.
+type Benchmark struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped, so
+	// snapshots from hosts with different core counts stay comparable.
+	Name string `json:"name"`
+	// Pkg is the import path the benchmark ran in.
+	Pkg   string  `json:"pkg,omitempty"`
+	Iters int64   `json:"iters"`
+	NsOp  float64 `json:"ns_per_op"`
+	// BytesOp/AllocsOp are -1 when the benchmark did not run -benchmem.
+	BytesOp  float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	// Metrics holds b.ReportMetric outputs (unit -> value), e.g.
+	// "rounds/op" or "mem-words".
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the checked-in BENCH_<tag>.json payload.
+type Snapshot struct {
+	Schema     string      `json:"schema"`
+	Tag        string      `json:"tag"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S*)\s+(\d+)\s+(.*)$`)
+
+// maxprocsSuffix matches the trailing -N GOMAXPROCS marker go test appends
+// to benchmark names.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` text output and collects its benchmark rows.
+// Lines that are not benchmark results (headers, PASS/ok, test logs) are
+// skipped; goos/goarch/cpu/pkg headers annotate the snapshot.
+func Parse(r io.Reader, tag string) (*Snapshot, error) {
+	snap := &Snapshot{Schema: Schema, Tag: tag}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t")
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			snap.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			snap.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b, err := parseRow(m[1], m[2], m[3])
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: %w in line %q", err, line)
+		}
+		b.Pkg = pkg
+		snap.Benchmarks = append(snap.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: read: %w", err)
+	}
+	sort.SliceStable(snap.Benchmarks, func(i, j int) bool {
+		if snap.Benchmarks[i].Pkg != snap.Benchmarks[j].Pkg {
+			return snap.Benchmarks[i].Pkg < snap.Benchmarks[j].Pkg
+		}
+		return snap.Benchmarks[i].Name < snap.Benchmarks[j].Name
+	})
+	return snap, nil
+}
+
+func parseRow(name, iters, rest string) (Benchmark, error) {
+	b := Benchmark{
+		Name:     maxprocsSuffix.ReplaceAllString(name, ""),
+		BytesOp:  -1,
+		AllocsOp: -1,
+	}
+	var err error
+	if b.Iters, err = strconv.ParseInt(iters, 10, 64); err != nil {
+		return b, fmt.Errorf("bad iteration count %q", iters)
+	}
+	fields := strings.Fields(rest)
+	if len(fields)%2 != 0 {
+		return b, fmt.Errorf("odd value/unit field count")
+	}
+	for i := 0; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return b, fmt.Errorf("bad value %q", fields[i])
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsOp = val
+		case "B/op":
+			b.BytesOp = val
+		case "allocs/op":
+			b.AllocsOp = val
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = val
+		}
+	}
+	return b, nil
+}
+
+// WriteJSON renders the snapshot with a trailing newline.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadJSON loads a snapshot, rejecting unknown schema versions.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchfmt: decode: %w", err)
+	}
+	if s.Schema != Schema {
+		return nil, fmt.Errorf("benchfmt: unsupported schema %q (want %q)", s.Schema, Schema)
+	}
+	return &s, nil
+}
+
+// Delta is one benchmark's old/new comparison.
+type Delta struct {
+	Name string
+	Old  *Benchmark // nil: benchmark is new
+	New  *Benchmark // nil: benchmark disappeared
+	// Failures lists human-readable threshold violations; empty = pass.
+	Failures []string
+}
+
+// DiffOptions configure Diff.
+type DiffOptions struct {
+	// MaxRegress is the allowed relative increase in ns/op, B/op and
+	// allocs/op, e.g. 0.25 = +25%. Zero means the default of 0.30 - bench
+	// noise across runs and hosts is real, the gate is for step changes.
+	MaxRegress float64
+	// AllocFloor ignores allocs/op regressions whose absolute values stay
+	// at or under this count (0-vs-1 style jitter on tiny benches).
+	// Default 0 - any allocs/op growth from 0 is a finding, because the
+	// zero-steady-state-allocation engine promises exactly that 0.
+	AllocFloor float64
+}
+
+// key identifies a benchmark across snapshots.
+func key(b *Benchmark) string { return b.Pkg + "\x00" + b.Name }
+
+// Diff compares two snapshots. A delta fails when a host-measured column
+// regresses beyond opts.MaxRegress or when a simulation metric changes at
+// all. Missing or new benchmarks are reported but do not fail.
+func Diff(old, new *Snapshot, opts DiffOptions) []Delta {
+	if opts.MaxRegress == 0 {
+		opts.MaxRegress = 0.30
+	}
+	oldBy := make(map[string]*Benchmark, len(old.Benchmarks))
+	for i := range old.Benchmarks {
+		oldBy[key(&old.Benchmarks[i])] = &old.Benchmarks[i]
+	}
+	var out []Delta
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for i := range new.Benchmarks {
+		nb := &new.Benchmarks[i]
+		seen[key(nb)] = true
+		d := Delta{Name: nb.Name, New: nb, Old: oldBy[key(nb)]}
+		if d.Old != nil {
+			d.Failures = compare(d.Old, nb, opts)
+		}
+		out = append(out, d)
+	}
+	for i := range old.Benchmarks {
+		ob := &old.Benchmarks[i]
+		if !seen[key(ob)] {
+			out = append(out, Delta{Name: ob.Name, Old: ob})
+		}
+	}
+	return out
+}
+
+func compare(o, n *Benchmark, opts DiffOptions) []string {
+	var fails []string
+	check := func(col string, ov, nv float64) {
+		if ov < 0 || nv < 0 { // column absent on either side
+			return
+		}
+		if ov == 0 {
+			if nv > 0 && !(col == "allocs/op" && nv <= opts.AllocFloor) {
+				fails = append(fails, fmt.Sprintf("%s grew from 0 to %g", col, nv))
+			}
+			return
+		}
+		if rel := nv/ov - 1; rel > opts.MaxRegress {
+			if col == "allocs/op" && nv <= opts.AllocFloor {
+				return
+			}
+			fails = append(fails, fmt.Sprintf("%s +%.1f%% (%.4g -> %.4g, limit +%.0f%%)",
+				col, rel*100, ov, nv, opts.MaxRegress*100))
+		}
+	}
+	check("ns/op", o.NsOp, n.NsOp)
+	check("B/op", o.BytesOp, n.BytesOp)
+	check("allocs/op", o.AllocsOp, n.AllocsOp)
+	// Simulation metrics are exact outputs of a deterministic engine: any
+	// drift is a behaviour change and fails regardless of direction.
+	units := make([]string, 0, len(o.Metrics))
+	for u := range o.Metrics {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		nv, ok := n.Metrics[u]
+		if !ok {
+			fails = append(fails, fmt.Sprintf("metric %s disappeared", u))
+			continue
+		}
+		if ov := o.Metrics[u]; nv != ov {
+			fails = append(fails, fmt.Sprintf("metric %s changed %g -> %g (simulation output must be identical)", u, ov, nv))
+		}
+	}
+	return fails
+}
+
+// FormatDeltas renders a diff report; ok reports whether every delta passed.
+func FormatDeltas(deltas []Delta) (string, bool) {
+	var sb strings.Builder
+	ok := true
+	for _, d := range deltas {
+		switch {
+		case d.Old == nil:
+			fmt.Fprintf(&sb, "NEW   %-40s %12.0f ns/op\n", d.Name, d.New.NsOp)
+		case d.New == nil:
+			fmt.Fprintf(&sb, "GONE  %-40s\n", d.Name)
+		case len(d.Failures) > 0:
+			ok = false
+			fmt.Fprintf(&sb, "FAIL  %-40s\n", d.Name)
+			for _, f := range d.Failures {
+				fmt.Fprintf(&sb, "      %s\n", f)
+			}
+		default:
+			fmt.Fprintf(&sb, "ok    %-40s %12.0f -> %-12.0f ns/op (%+.1f%%)\n",
+				d.Name, d.Old.NsOp, d.New.NsOp, relChange(d.Old.NsOp, d.New.NsOp)*100)
+		}
+	}
+	return sb.String(), ok
+}
+
+func relChange(o, n float64) float64 {
+	if o == 0 {
+		return 0
+	}
+	return n/o - 1
+}

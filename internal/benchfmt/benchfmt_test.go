@@ -1,0 +1,174 @@
+package benchfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: lowmemroute/internal/congest
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkRunFlood-8   	     717	   1952334 ns/op	     28672 msgs/op	         8.000 rounds/op	    1769 B/op	      18 allocs/op
+BenchmarkRunSparse 	  153176	      7938 ns/op	        65.00 rounds/op	      14 B/op	       0 allocs/op
+some test log line that is not a benchmark
+PASS
+ok  	lowmemroute/internal/congest	6.070s
+pkg: lowmemroute
+BenchmarkTable2/paper-tree     	       1	  15455081 ns/op	         5.000 label-words	      1374 rounds	 5436784 B/op	   49049 allocs/op
+`
+
+func parseSample(t *testing.T) *Snapshot {
+	t.Helper()
+	s, err := Parse(strings.NewReader(sampleOutput), "T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestParse(t *testing.T) {
+	s := parseSample(t)
+	if s.Schema != Schema || s.Tag != "T1" {
+		t.Fatalf("schema=%q tag=%q", s.Schema, s.Tag)
+	}
+	if s.Goos != "linux" || s.Goarch != "amd64" || !strings.Contains(s.CPU, "Xeon") {
+		t.Fatalf("host fields: %+v", s)
+	}
+	if len(s.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	// Sorted by (pkg, name); root package sorts before internal/congest.
+	if s.Benchmarks[0].Name != "BenchmarkTable2/paper-tree" {
+		t.Fatalf("sort order: %q first", s.Benchmarks[0].Name)
+	}
+	var flood *Benchmark
+	for i := range s.Benchmarks {
+		if s.Benchmarks[i].Name == "BenchmarkRunFlood" {
+			flood = &s.Benchmarks[i]
+		}
+	}
+	if flood == nil {
+		t.Fatalf("-8 suffix not stripped: %+v", s.Benchmarks)
+	}
+	if flood.Iters != 717 || flood.NsOp != 1952334 || flood.BytesOp != 1769 || flood.AllocsOp != 18 {
+		t.Fatalf("flood row: %+v", flood)
+	}
+	if flood.Metrics["msgs/op"] != 28672 || flood.Metrics["rounds/op"] != 8 {
+		t.Fatalf("flood metrics: %v", flood.Metrics)
+	}
+	if flood.Pkg != "lowmemroute/internal/congest" {
+		t.Fatalf("pkg: %q", flood.Pkg)
+	}
+}
+
+func TestParseWithoutBenchmem(t *testing.T) {
+	s, err := Parse(strings.NewReader("BenchmarkX\t10\t123 ns/op\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Benchmarks[0]
+	if b.BytesOp != -1 || b.AllocsOp != -1 {
+		t.Fatalf("absent -benchmem columns must be -1: %+v", b)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	s := parseSample(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(s.Benchmarks) || got.Tag != s.Tag {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"schema":"other/v9","tag":"x"}`))
+	if err == nil || !strings.Contains(err.Error(), "unsupported schema") {
+		t.Fatalf("err=%v", err)
+	}
+}
+
+func snap(b ...Benchmark) *Snapshot { return &Snapshot{Schema: Schema, Benchmarks: b} }
+
+func bench(name string, ns, bytes, allocs float64, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Pkg: "p", Iters: 1, NsOp: ns, BytesOp: bytes, AllocsOp: allocs, Metrics: metrics}
+}
+
+func TestDiffPassWithinThreshold(t *testing.T) {
+	old := snap(bench("B", 1000, 100, 10, map[string]float64{"rounds": 7}))
+	new := snap(bench("B", 1200, 110, 10, map[string]float64{"rounds": 7}))
+	deltas := Diff(old, new, DiffOptions{MaxRegress: 0.25})
+	if len(deltas) != 1 || len(deltas[0].Failures) != 0 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	if _, ok := FormatDeltas(deltas); !ok {
+		t.Fatal("should pass")
+	}
+}
+
+func TestDiffFailsOnNsRegression(t *testing.T) {
+	old := snap(bench("B", 1000, -1, -1, nil))
+	new := snap(bench("B", 1400, -1, -1, nil))
+	deltas := Diff(old, new, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "ns/op") {
+		t.Fatalf("failures: %v", deltas[0].Failures)
+	}
+	if _, ok := FormatDeltas(deltas); ok {
+		t.Fatal("should fail")
+	}
+}
+
+func TestDiffFailsOnAllocsFromZero(t *testing.T) {
+	// The zero-allocation engine promise: 0 -> anything is a failure even
+	// though the relative change is undefined.
+	old := snap(bench("B", 1000, 0, 0, nil))
+	new := snap(bench("B", 1000, 0, 1, nil))
+	deltas := Diff(old, new, DiffOptions{})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "allocs/op grew from 0") {
+		t.Fatalf("failures: %v", deltas[0].Failures)
+	}
+	// With a floor, tiny counts are tolerated.
+	deltas = Diff(old, new, DiffOptions{AllocFloor: 2})
+	if len(deltas[0].Failures) != 0 {
+		t.Fatalf("floor not applied: %v", deltas[0].Failures)
+	}
+}
+
+func TestDiffFailsOnMetricDrift(t *testing.T) {
+	old := snap(bench("B", 1000, -1, -1, map[string]float64{"rounds": 7}))
+	new := snap(bench("B", 900, -1, -1, map[string]float64{"rounds": 8}))
+	deltas := Diff(old, new, DiffOptions{})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "metric rounds changed") {
+		t.Fatalf("failures: %v", deltas[0].Failures)
+	}
+}
+
+func TestDiffNewAndGoneAreReportedNotFailed(t *testing.T) {
+	old := snap(bench("Gone", 1, -1, -1, nil))
+	new := snap(bench("New", 1, -1, -1, nil))
+	deltas := Diff(old, new, DiffOptions{})
+	report, ok := FormatDeltas(deltas)
+	if !ok {
+		t.Fatalf("new/gone must not fail:\n%s", report)
+	}
+	if !strings.Contains(report, "NEW") || !strings.Contains(report, "GONE") {
+		t.Fatalf("report:\n%s", report)
+	}
+}
+
+func TestParseRejectsMalformedRow(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX\t10\t123 ns/op extra\n"), "t"); err == nil {
+		t.Fatal("odd field count should error")
+	}
+	if _, err := Parse(strings.NewReader("BenchmarkX\t10\tabc ns/op\n"), "t"); err == nil {
+		t.Fatal("non-numeric value should error")
+	}
+}

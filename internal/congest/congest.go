@@ -25,11 +25,8 @@
 package congest
 
 import (
-	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
-	"sync"
 
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/trace"
@@ -56,6 +53,10 @@ type Message struct {
 type StepFunc func(v int, ctx *Ctx)
 
 // Simulator executes CONGEST rounds over a fixed communication graph.
+//
+// The engine (engine.go) compiles the graph into a CSR index over directed
+// edges and owns every per-round structure; see the engine file comment for
+// the layout and the determinism argument.
 type Simulator struct {
 	g        *graph.Graph
 	d        int // hop-diameter bound used for broadcast cost accounting
@@ -66,7 +67,6 @@ type Simulator struct {
 	words    int64
 
 	inbox  [][]Message
-	queues map[edgeKey]*edgeQueue
 	meters []Meter
 
 	workers int
@@ -76,19 +76,42 @@ type Simulator struct {
 	// and per analytically-charged primitive. Disabled tracing costs one
 	// nil check per round.
 	tracer trace.Sink
-}
 
-type edgeKey struct{ from, to int }
+	// CSR topology over directed edges, compiled by ensureTopology and
+	// rebuilt only when the graph changes shape (topoN/topoM mismatch).
+	topoN, topoM int
+	outStart     []int32 // per sender: offsets into outTo
+	outTo        []int32 // destinations, ascending per sender, deduplicated
+	inStart      []int32 // per destination: offsets into inEdges
+	inEdges      []int32 // incoming directed edge ids, ascending-sender order
+	inPos        []int32 // directed edge id -> its slot in inEdges
 
-// edgeQueue models the pacing of a bandwidth-limited edge. Backlog delays
-// delivery (rounds) but does not charge the sender's memory: a real CONGEST
-// processor regenerates outgoing messages from its stored state (already
-// charged) rather than holding per-edge copies.
-type edgeQueue struct {
-	msgs []Message
-	// sent is the number of words of msgs[0] already transmitted in
-	// previous rounds (large messages take several rounds to cross).
-	sent int
+	// Per-directed-edge queues plus the dirty-destination bookkeeping:
+	// dirtyIn's region [inStart[v], inStart[v]+dirtyCnt[v]) lists the
+	// inEdges slots of v's currently backlogged incoming edges.
+	queues   []edgeQueue
+	dirtyIn  []int32
+	dirtyCnt []int32
+
+	// Sharded delivery worklists: shard sh owns the contiguous destination
+	// range [sh*shardBlock, (sh+1)*shardBlock). Cur is this round's dirty
+	// destinations, Nxt collects carried backlog for the next round, Recv
+	// the destinations that received; Msgs/Words are per-shard counters.
+	shardBlock int
+	shardCur   [][]int32
+	shardNxt   [][]int32
+	shardRecv  [][]int32
+	shardMsgs  []int64
+	shardWords []int64
+
+	// Epoch-stamped scratch recycled across rounds: nextStamp[v] == epoch
+	// marks v as already collected into the next active list. ctxs,
+	// actList and nextList are the reusable context pool and active lists.
+	epoch     int64
+	nextStamp []int64
+	ctxs      []Ctx
+	actList   []int
+	nextList  []int
 }
 
 // Option configures a Simulator.
@@ -138,7 +161,6 @@ func New(g *graph.Graph, opts ...Option) *Simulator {
 		d:        1,
 		capacity: DefaultEdgeCapacity,
 		inbox:    make([][]Message, g.N()),
-		queues:   make(map[edgeKey]*edgeQueue),
 		meters:   make([]Meter, g.N()),
 		workers:  runtime.GOMAXPROCS(0),
 		rng:      rand.New(rand.NewSource(1)),
@@ -238,21 +260,6 @@ func (s *Simulator) meterStats() (int64, float64) {
 	return mx, float64(sum) / float64(len(s.meters))
 }
 
-// queueBacklog returns the words still queued on bandwidth-limited edges.
-func (s *Simulator) queueBacklog() int64 {
-	var backlog int64
-	for _, q := range s.queues {
-		for i, m := range q.msgs {
-			w := int64(m.Words)
-			if i == 0 {
-				w -= int64(q.sent)
-			}
-			backlog += w
-		}
-	}
-	return backlog
-}
-
 // emitSample builds and delivers one RoundSample; callers guard s.tracer.
 func (s *Simulator) emitSample(round int64, kind string, rounds int64, active int, msgs, words int64) {
 	mx, mean := s.meterStats()
@@ -270,15 +277,16 @@ func (s *Simulator) emitSample(round int64, kind string, rounds int64, active in
 }
 
 // Ctx is the per-vertex, per-round execution context handed to StepFuncs.
+// Contexts are pooled by the engine and recycled across rounds.
 type Ctx struct {
-	sim    *Simulator
-	v      int
-	round  int
-	in     []Message
-	out    []Message
-	outDst []int
-	wake   bool
-	seq    int
+	sim     *Simulator
+	v       int
+	round   int
+	in      []Message
+	out     []Message
+	outEdge []int32 // directed-edge id per out message
+	wake    bool
+	seq     int
 }
 
 // Round returns the index of the current round within the active Run.
@@ -291,199 +299,5 @@ func (c *Ctx) In() []Message { return c.in }
 // Mem returns this vertex's memory meter.
 func (c *Ctx) Mem() *Meter { return c.sim.Mem(c.v) }
 
-// Send queues a message of the given word count to neighbor `to`. Delivery
-// happens when the edge's bandwidth allows; queued words are charged to this
-// vertex's memory meter until transmitted. Sending to a non-neighbor panics:
-// it is a programming error that would break the model.
-func (c *Ctx) Send(to int, payload any, words int) {
-	if !c.sim.g.HasEdge(c.v, to) {
-		panic(fmt.Sprintf("congest: vertex %d sent to non-neighbor %d", c.v, to))
-	}
-	if words < 1 {
-		words = 1
-	}
-	c.out = append(c.out, Message{From: c.v, Payload: payload, Words: words, seq: c.seq})
-	c.seq++
-	c.outDst = append(c.outDst, to)
-}
-
 // Wake keeps this vertex scheduled next round even if it receives nothing.
 func (c *Ctx) Wake() { c.wake = true }
-
-// Run executes synchronous rounds. Vertices listed in initial are active in
-// round 0; afterwards a vertex is active iff it received a message or called
-// Wake. Run stops when no vertex is active and all edge queues are drained,
-// or after maxRounds rounds; it returns the number of rounds executed (also
-// added to the simulator's round counter).
-func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
-	n := s.g.N()
-	active := make([]bool, n)
-	var actList []int
-	for _, v := range initial {
-		if !active[v] {
-			active[v] = true
-			actList = append(actList, v)
-		}
-	}
-	sort.Ints(actList)
-
-	executed := 0
-	baseRounds := s.rounds
-	for round := 0; round < maxRounds && (len(actList) > 0 || len(s.queues) > 0); round++ {
-		msgsBefore, wordsBefore := s.messages, s.words
-		ctxs := s.runRound(actList, round, step)
-		executed++
-
-		// Enqueue this round's sends on their directed edges.
-		for _, v := range actList {
-			s.inbox[v] = nil
-		}
-		wakeSet := make(map[int]bool)
-		for _, c := range ctxs {
-			if c.wake {
-				wakeSet[c.v] = true
-			}
-			for i, m := range c.out {
-				key := edgeKey{from: c.v, to: c.outDst[i]}
-				q := s.queues[key]
-				if q == nil {
-					q = &edgeQueue{}
-					s.queues[key] = q
-				}
-				q.msgs = append(q.msgs, m)
-			}
-		}
-
-		// Deliver within bandwidth, in deterministic edge order.
-		keys := make([]edgeKey, 0, len(s.queues))
-		for k := range s.queues {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].from != keys[j].from {
-				return keys[i].from < keys[j].from
-			}
-			return keys[i].to < keys[j].to
-		})
-		received := make(map[int]bool)
-		for _, k := range keys {
-			q := s.queues[k]
-			budget := s.capacity
-			unlimited := s.capacity <= 0
-			for len(q.msgs) > 0 {
-				head := q.msgs[0]
-				remaining := head.Words - q.sent
-				if !unlimited {
-					if budget <= 0 {
-						break
-					}
-					if remaining > budget {
-						q.sent += budget
-						budget = 0
-						break
-					}
-					budget -= remaining
-				}
-				q.msgs = q.msgs[1:]
-				q.sent = 0
-				s.inbox[k.to] = append(s.inbox[k.to], head)
-				s.messages++
-				s.words += int64(head.Words)
-				received[k.to] = true
-			}
-			if len(q.msgs) == 0 {
-				delete(s.queues, k)
-			}
-		}
-
-		if s.tracer != nil {
-			s.emitSample(baseRounds+int64(executed), trace.KindRound, 1,
-				len(actList), s.messages-msgsBefore, s.words-wordsBefore)
-		}
-
-		// Build next round's active list.
-		var nextList []int
-		for v := range wakeSet {
-			nextList = append(nextList, v)
-		}
-		for v := range received {
-			if !wakeSet[v] {
-				nextList = append(nextList, v)
-			}
-		}
-		for _, v := range nextList {
-			in := s.inbox[v]
-			sort.Slice(in, func(i, j int) bool {
-				if in[i].From != in[j].From {
-					return in[i].From < in[j].From
-				}
-				return in[i].seq < in[j].seq
-			})
-		}
-		sort.Ints(nextList)
-		nextActive := make([]bool, n)
-		for _, v := range nextList {
-			nextActive[v] = true
-		}
-		active = nextActive
-		actList = nextList
-	}
-	_ = active
-	s.rounds += int64(executed)
-	// Drop undelivered state if we hit maxRounds.
-	for _, v := range actList {
-		s.inbox[v] = nil
-	}
-	for k := range s.queues {
-		delete(s.queues, k)
-	}
-	return executed
-}
-
-// runRound executes step for every active vertex using the worker pool and
-// returns the per-vertex contexts (in actList order).
-func (s *Simulator) runRound(actList []int, round int, step StepFunc) []*Ctx {
-	ctxs := make([]*Ctx, len(actList))
-	run := func(i int) {
-		v := actList[i]
-		c := &Ctx{sim: s, v: v, round: round, in: s.inbox[v]}
-		// Link buffers are free; charge only the single largest in-flight
-		// message as transient working space.
-		var mxWords int64
-		for _, m := range c.in {
-			if int64(m.Words) > mxWords {
-				mxWords = int64(m.Words)
-			}
-		}
-		s.meters[v].Spike(mxWords)
-		step(v, c)
-		ctxs[i] = c
-	}
-	if s.workers <= 1 || len(actList) < 64 {
-		for i := range actList {
-			run(i)
-		}
-		return ctxs
-	}
-	var wg sync.WaitGroup
-	chunk := (len(actList) + s.workers - 1) / s.workers
-	for w := 0; w < s.workers; w++ {
-		lo := w * chunk
-		if lo >= len(actList) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(actList) {
-			hi = len(actList)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				run(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return ctxs
-}

@@ -1,0 +1,506 @@
+package congest
+
+// The round engine. Design goals, in order: bit-identical behaviour with the
+// reference semantics (per-edge FIFO, per-round edge bandwidth, inboxes
+// sorted by (sender, send order), deterministic active sets), zero
+// steady-state allocation, and parallel delivery that cannot race.
+//
+// Topology is compiled once per graph shape into a CSR (compressed sparse
+// row) index over the *directed* edges of the communication graph:
+//
+//   outStart/outTo  per-sender edge lists, destinations ascending, parallel
+//                   edges deduplicated (they share one queue and therefore
+//                   one bandwidth budget, exactly like the map-keyed queues
+//                   they replace);
+//   inStart/inEdges per-destination lists of incoming directed edge ids,
+//                   senders ascending;
+//   inPos           edge id -> its slot in inEdges.
+//
+// Every per-round structure (contexts, send buffers, inboxes, queues, the
+// dirty-destination worklists, the next-active list) is owned by the
+// Simulator and recycled across rounds; set membership is tracked with an
+// epoch-stamped array instead of maps, so a steady-state round performs no
+// allocation and no hashing.
+//
+// Determinism does not depend on processing order: message delivery into
+// inbox[v] walks v's incoming edges in ascending-sender CSR order (giving
+// the (From, seq) inbox order directly, with no post-sort), counters are
+// sums, and the next-active list is sorted once per round. Delivery is
+// therefore safe to shard across the worker pool by destination vertex:
+// a shard owns a contiguous destination range, hence its inboxes, queue
+// heads and dirty lists are touched by exactly one goroutine, and the
+// result is independent of the shard count (worker-count invariance is
+// enforced by TestRunWorkerCountInvariance and the core trace test).
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"lowmemroute/internal/trace"
+)
+
+// serialThreshold is the minimum amount of per-round work (active vertices
+// for the step phase, dirty destinations for the delivery phase) before the
+// engine bothers spawning the worker pool.
+const serialThreshold = 64
+
+// queueCompactMin is the consumed-prefix length beyond which a partially
+// drained edge queue is compacted in place (bounding the backing array of a
+// perpetually backlogged edge).
+const queueCompactMin = 32
+
+// edgeQueue models the pacing of a bandwidth-limited directed edge as a
+// FIFO with a consumed prefix. Backlog delays delivery (rounds) but does not
+// charge the sender's memory: a real CONGEST processor regenerates outgoing
+// messages from its stored state (already charged) rather than holding
+// per-edge copies.
+type edgeQueue struct {
+	msgs []Message
+	head int // msgs[:head] already delivered; cleared lazily
+	// sent is the number of words of msgs[head] already transmitted in
+	// previous rounds (large messages take several rounds to cross).
+	sent int
+}
+
+func (q *edgeQueue) empty() bool { return q.head == len(q.msgs) }
+
+// compact releases delivered messages: full resets are free, and a long
+// consumed prefix under a persistent backlog is copied out so the backing
+// array stays proportional to the live queue.
+func (q *edgeQueue) compact() {
+	switch {
+	case q.head == len(q.msgs):
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	case q.head >= queueCompactMin && 2*q.head >= len(q.msgs):
+		n := copy(q.msgs, q.msgs[q.head:])
+		clear(q.msgs[n:])
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+}
+
+// ensureTopology (re)compiles the CSR edge index and sizes every recycled
+// buffer. It runs on the first Run and again only if the graph changed
+// shape; steady-state Runs see a single integer comparison.
+func (s *Simulator) ensureTopology() {
+	n, m := s.g.N(), s.g.M()
+	if s.topoN == n && s.topoM == m && s.outStart != nil {
+		return
+	}
+	s.topoN, s.topoM = n, m
+
+	// Outgoing CSR: destinations sorted ascending per sender, parallel
+	// edges deduplicated so they share one queue (and one budget).
+	s.outStart = make([]int32, n+1)
+	outTo := make([]int32, 0, 2*m)
+	for u := 0; u < n; u++ {
+		start := len(outTo)
+		for _, nb := range s.g.Neighbors(u) {
+			outTo = append(outTo, int32(nb.To))
+		}
+		seg := outTo[start:]
+		slices.Sort(seg)
+		w := 0
+		for i, to := range seg {
+			if i == 0 || to != seg[w-1] {
+				seg[w] = to
+				w++
+			}
+		}
+		outTo = outTo[:start+w]
+		s.outStart[u+1] = int32(len(outTo))
+	}
+	s.outTo = outTo
+	ne := len(outTo)
+
+	// Incoming CSR: for each destination, the incoming directed edge ids
+	// in ascending-sender order (edge ids ascend with their sender, so a
+	// counting pass in id order lands them presorted).
+	s.inStart = make([]int32, n+1)
+	for _, to := range outTo {
+		s.inStart[to+1]++
+	}
+	for v := 0; v < n; v++ {
+		s.inStart[v+1] += s.inStart[v]
+	}
+	s.inEdges = make([]int32, ne)
+	s.inPos = make([]int32, ne)
+	cursor := make([]int32, n)
+	copy(cursor, s.inStart[:n])
+	for e := 0; e < ne; e++ {
+		to := outTo[e]
+		p := cursor[to]
+		cursor[to] = p + 1
+		s.inEdges[p] = int32(e)
+		s.inPos[e] = p
+	}
+
+	s.queues = make([]edgeQueue, ne)
+	s.dirtyIn = make([]int32, ne)
+	s.dirtyCnt = make([]int32, n)
+	s.nextStamp = make([]int64, n)
+	s.epoch = 0
+
+	shards := s.workers
+	if shards < 1 {
+		shards = 1
+	}
+	s.shardBlock = (n + shards - 1) / shards
+	if s.shardBlock < 1 {
+		s.shardBlock = 1
+	}
+	s.shardCur = make([][]int32, shards)
+	s.shardNxt = make([][]int32, shards)
+	s.shardRecv = make([][]int32, shards)
+	s.shardMsgs = make([]int64, shards)
+	s.shardWords = make([]int64, shards)
+
+	// A graph that grew since New needs wider inboxes and meters; existing
+	// meter readings are preserved.
+	for len(s.inbox) < n {
+		s.inbox = append(s.inbox, nil)
+	}
+	for len(s.meters) < n {
+		s.meters = append(s.meters, Meter{})
+	}
+}
+
+// edgeID returns the directed-edge id of from->to, or -1 if the vertices are
+// not adjacent. Binary search over the sender's sorted CSR destinations.
+func (s *Simulator) edgeID(from, to int) int32 {
+	lo, hi := s.outStart[from], s.outStart[from+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(s.outTo[mid]) < to {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < s.outStart[from+1] && int(s.outTo[lo]) == to {
+		return lo
+	}
+	return -1
+}
+
+// Run executes synchronous rounds. Vertices listed in initial are active in
+// round 0; afterwards a vertex is active iff it received a message or called
+// Wake. Run stops when no vertex is active and all edge queues are drained,
+// or after maxRounds rounds; it returns the number of rounds executed (also
+// added to the simulator's round counter).
+func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
+	s.ensureTopology()
+
+	// Deduplicated, sorted initial active list in the recycled buffer.
+	s.epoch++
+	act := s.actList[:0]
+	for _, v := range initial {
+		if s.nextStamp[v] != s.epoch {
+			s.nextStamp[v] = s.epoch
+			act = append(act, v)
+		}
+	}
+	slices.Sort(act)
+	s.actList = act
+
+	pending := 0 // dirty destinations == destinations with queued traffic
+	for _, l := range s.shardCur {
+		pending += len(l)
+	}
+
+	executed := 0
+	baseRounds := s.rounds
+	for round := 0; round < maxRounds && (len(s.actList) > 0 || pending > 0); round++ {
+		msgsBefore, wordsBefore := s.messages, s.words
+		s.runRound(round, step)
+		executed++
+
+		// Ran vertices have consumed their inboxes; recycle the buffers
+		// (zeroing first so delivered payloads don't outlive the round).
+		for _, v := range s.actList {
+			in := s.inbox[v]
+			clear(in)
+			s.inbox[v] = in[:0]
+		}
+
+		// Enqueue this round's sends on their directed edges and collect
+		// wake requests, in sender order. Serial: this is bookkeeping over
+		// data the step phase already produced.
+		s.epoch++
+		next := s.nextList[:0]
+		for i := range s.actList {
+			c := &s.ctxs[i]
+			if c.wake && s.nextStamp[c.v] != s.epoch {
+				s.nextStamp[c.v] = s.epoch
+				next = append(next, c.v)
+			}
+			for j := range c.out {
+				e := c.outEdge[j]
+				q := &s.queues[e]
+				if q.empty() {
+					to := int(s.outTo[e])
+					if s.dirtyCnt[to] == 0 {
+						sh := to / s.shardBlock
+						s.shardCur[sh] = append(s.shardCur[sh], int32(to))
+						pending++
+					}
+					s.dirtyIn[int(s.inStart[to])+int(s.dirtyCnt[to])] = s.inPos[e]
+					s.dirtyCnt[to]++
+				}
+				q.msgs = append(q.msgs, c.out[j])
+			}
+			clear(c.out)
+			c.out = c.out[:0]
+		}
+
+		// Deliver within bandwidth, sharded by destination: every shard
+		// owns a disjoint set of inboxes, queues and dirty lists.
+		if s.workers > 1 && pending >= serialThreshold {
+			var wg sync.WaitGroup
+			for sh := range s.shardCur {
+				if len(s.shardCur[sh]) == 0 {
+					s.deliverShard(sh)
+					continue
+				}
+				wg.Add(1)
+				go func(sh int) {
+					defer wg.Done()
+					s.deliverShard(sh)
+				}(sh)
+			}
+			wg.Wait()
+		} else {
+			for sh := range s.shardCur {
+				s.deliverShard(sh)
+			}
+		}
+
+		// Aggregate the shard results (sums and list concatenations are
+		// order-independent; next is sorted below) and swap in the
+		// carried-backlog worklists for the next round.
+		pending = 0
+		for sh := range s.shardCur {
+			s.messages += s.shardMsgs[sh]
+			s.words += s.shardWords[sh]
+			for _, v := range s.shardRecv[sh] {
+				next = append(next, int(v))
+			}
+			s.shardCur[sh], s.shardNxt[sh] = s.shardNxt[sh], s.shardCur[sh][:0]
+			pending += len(s.shardCur[sh])
+		}
+
+		if s.tracer != nil {
+			s.emitSample(baseRounds+int64(executed), trace.KindRound, 1,
+				len(s.actList), s.messages-msgsBefore, s.words-wordsBefore)
+		}
+
+		// Next round's active list: woken + received, sorted ascending.
+		slices.Sort(next)
+		s.nextList = next
+		s.actList, s.nextList = s.nextList, s.actList
+	}
+	s.rounds += int64(executed)
+
+	// Drop undelivered state if we hit maxRounds.
+	for _, v := range s.actList {
+		in := s.inbox[v]
+		clear(in)
+		s.inbox[v] = in[:0]
+	}
+	if pending > 0 {
+		s.drainAll()
+	}
+	return executed
+}
+
+// runRound executes step for every active vertex, reusing the simulator's
+// context pool, serially or on the worker pool.
+func (s *Simulator) runRound(round int, step StepFunc) {
+	act := s.actList
+	if len(act) > len(s.ctxs) {
+		s.ctxs = append(s.ctxs, make([]Ctx, len(act)-len(s.ctxs))...)
+	}
+	if s.workers <= 1 || len(act) < serialThreshold {
+		for i := range act {
+			s.stepVertex(i, round, step)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (len(act) + s.workers - 1) / s.workers
+	for w := 0; w < s.workers; w++ {
+		lo := w * chunk
+		if lo >= len(act) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(act) {
+			hi = len(act)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				s.stepVertex(i, round, step)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// stepVertex runs one vertex's program for one round in its recycled
+// context slot.
+func (s *Simulator) stepVertex(i, round int, step StepFunc) {
+	v := s.actList[i]
+	c := &s.ctxs[i]
+	c.sim, c.v, c.round = s, v, round
+	c.in = s.inbox[v]
+	c.out = c.out[:0]
+	c.outEdge = c.outEdge[:0]
+	c.wake = false
+	c.seq = 0
+	// Link buffers are free; charge only the single largest in-flight
+	// message as transient working space.
+	var mxWords int64
+	for _, m := range c.in {
+		if int64(m.Words) > mxWords {
+			mxWords = int64(m.Words)
+		}
+	}
+	s.meters[v].Spike(mxWords)
+	step(v, c)
+}
+
+// deliverShard drains the dirty destinations of one shard: for each, its
+// backlogged incoming edges in ascending-sender order, each within the edge's
+// per-round word budget. Everything written here - inboxes, queues, dirty
+// lists, stamps, and the shard's own result slots - is owned by this shard's
+// destination range, so shards never contend.
+func (s *Simulator) deliverShard(sh int) {
+	var msgs, words int64
+	recv := s.shardRecv[sh][:0]
+	nxt := s.shardNxt[sh][:0]
+	for _, v32 := range s.shardCur[sh] {
+		v := int(v32)
+		dm, dw := s.drainDst(v)
+		msgs += dm
+		words += dw
+		if dm > 0 && s.nextStamp[v] != s.epoch {
+			s.nextStamp[v] = s.epoch
+			recv = append(recv, v32)
+		}
+		if s.dirtyCnt[v] > 0 {
+			nxt = append(nxt, v32)
+		}
+	}
+	s.shardRecv[sh] = recv
+	s.shardNxt[sh] = nxt
+	s.shardMsgs[sh] = msgs
+	s.shardWords[sh] = words
+}
+
+// drainDst delivers into destination v from each of its backlogged incoming
+// edges, in ascending-sender order, within each edge's bandwidth. Surviving
+// backlog is compacted to the front of v's dirty region. Returns delivered
+// message and word counts.
+func (s *Simulator) drainDst(v int) (int64, int64) {
+	var msgs, words int64
+	region := s.dirtyIn[s.inStart[v] : int(s.inStart[v])+int(s.dirtyCnt[v])]
+	// Carried entries (compacted last round) and this round's arrivals are
+	// each already ascending, so this is a near-linear merge for pdqsort.
+	slices.Sort(region)
+	unlimited := s.capacity <= 0
+	live := 0
+	for _, p := range region {
+		q := &s.queues[s.inEdges[p]]
+		budget := s.capacity
+		for q.head < len(q.msgs) {
+			head := q.msgs[q.head]
+			if !unlimited {
+				if budget <= 0 {
+					break
+				}
+				if remaining := head.Words - q.sent; remaining > budget {
+					q.sent += budget
+					budget = 0
+					break
+				} else {
+					budget -= remaining
+				}
+			}
+			q.msgs[q.head] = Message{}
+			q.head++
+			q.sent = 0
+			s.inbox[v] = append(s.inbox[v], head)
+			msgs++
+			words += int64(head.Words)
+		}
+		q.compact()
+		if !q.empty() {
+			region[live] = p
+			live++
+		}
+	}
+	s.dirtyCnt[v] = int32(live)
+	return msgs, words
+}
+
+// drainAll resets every backlogged queue and dirty list - the end-of-Run
+// "drop undelivered state" path when maxRounds cut the simulation short.
+func (s *Simulator) drainAll() {
+	for sh := range s.shardCur {
+		for _, v32 := range s.shardCur[sh] {
+			v := int(v32)
+			base := int(s.inStart[v])
+			for i := 0; i < int(s.dirtyCnt[v]); i++ {
+				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
+				clear(q.msgs)
+				q.msgs = q.msgs[:0]
+				q.head, q.sent = 0, 0
+			}
+			s.dirtyCnt[v] = 0
+		}
+		s.shardCur[sh] = s.shardCur[sh][:0]
+	}
+}
+
+// queueBacklog returns the words still queued on bandwidth-limited edges.
+func (s *Simulator) queueBacklog() int64 {
+	var backlog int64
+	for sh := range s.shardCur {
+		for _, v32 := range s.shardCur[sh] {
+			v := int(v32)
+			base := int(s.inStart[v])
+			for i := 0; i < int(s.dirtyCnt[v]); i++ {
+				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
+				for j := q.head; j < len(q.msgs); j++ {
+					w := int64(q.msgs[j].Words)
+					if j == q.head {
+						w -= int64(q.sent)
+					}
+					backlog += w
+				}
+			}
+		}
+	}
+	return backlog
+}
+
+// Send queues a message of the given word count to neighbor `to`. Delivery
+// happens when the edge's bandwidth allows; a backlogged edge delays later
+// messages but charges no memory (see edgeQueue). Sending to a non-neighbor
+// panics: it is a programming error that would break the model.
+func (c *Ctx) Send(to int, payload any, words int) {
+	e := c.sim.edgeID(c.v, to)
+	if e < 0 {
+		panic(fmt.Sprintf("congest: vertex %d sent to non-neighbor %d", c.v, to))
+	}
+	if words < 1 {
+		words = 1
+	}
+	c.out = append(c.out, Message{From: c.v, Payload: payload, Words: words, seq: c.seq})
+	c.seq++
+	c.outEdge = append(c.outEdge, e)
+}

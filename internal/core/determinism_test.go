@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lowmemroute/internal/congest"
@@ -16,19 +18,25 @@ import (
 // that measures the host rather than the simulation). Any map-iteration
 // order leaking into the schedule shows up here as a diff in round counts,
 // message counts, or span structure.
+//
+// The run is repeated at several worker-pool widths: the engine shards both
+// step execution and message delivery across workers, and the shard count
+// must be unobservable — byte-identical traces and identical per-vertex
+// meter peaks at every width, including width 1 (fully serial).
 func TestBuildTraceByteIdentical(t *testing.T) {
 	const (
 		n    = 120
 		k    = 3
 		seed = 42
 	)
-	runOnce := func() []byte {
+	runOnce := func(workers int) ([]byte, []int64) {
 		g, err := graph.Generate(graph.FamilyErdosRenyi, n, rand.New(rand.NewSource(7)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		rec := trace.NewRecorder()
-		sim := congest.New(g, congest.WithSeed(seed), congest.WithTrace(rec))
+		sim := congest.New(g, congest.WithSeed(seed), congest.WithTrace(rec),
+			congest.WithWorkers(workers))
 		if _, err := Build(sim, Options{K: k, Seed: seed, Epsilon: 0.01, Trace: rec}); err != nil {
 			t.Fatal(err)
 		}
@@ -38,34 +46,53 @@ func TestBuildTraceByteIdentical(t *testing.T) {
 		if err := trace.WriteExportJSON(&buf, ex); err != nil {
 			t.Fatal(err)
 		}
-		return buf.Bytes()
+		peaks := make([]int64, n)
+		for v := 0; v < n; v++ {
+			peaks[v] = sim.Mem(v).Peak()
+		}
+		return buf.Bytes(), peaks
 	}
-	first := runOnce()
-	second := runOnce()
-	if !bytes.Equal(first, second) {
-		limit := len(first)
-		if len(second) < limit {
-			limit = len(second)
-		}
-		at := limit
-		for i := 0; i < limit; i++ {
-			if first[i] != second[i] {
-				at = i
-				break
+	first, firstPeaks := runOnce(1)
+
+	// Re-run with the same width (rules out any run-to-run nondeterminism),
+	// then at wider pools (rules out shard-count leaking into the schedule).
+	widths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, workers := range widths {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got, peaks := runOnce(workers)
+			if !bytes.Equal(first, got) {
+				limit := len(first)
+				if len(got) < limit {
+					limit = len(got)
+				}
+				at := limit
+				for i := 0; i < limit; i++ {
+					if first[i] != got[i] {
+						at = i
+						break
+					}
+				}
+				lo := at - 120
+				if lo < 0 {
+					lo = 0
+				}
+				hiA, hiB := at+120, at+120
+				if hiA > len(first) {
+					hiA = len(first)
+				}
+				if hiB > len(got) {
+					hiB = len(got)
+				}
+				t.Fatalf("traces diverge at byte %d:\nworkers=1: …%s…\nworkers=%d: …%s…",
+					at, first[lo:hiA], workers, got[lo:hiB])
 			}
-		}
-		lo := at - 120
-		if lo < 0 {
-			lo = 0
-		}
-		hiA, hiB := at+120, at+120
-		if hiA > len(first) {
-			hiA = len(first)
-		}
-		if hiB > len(second) {
-			hiB = len(second)
-		}
-		t.Fatalf("same-seed runs diverge at byte %d:\nrun1: …%s…\nrun2: …%s…",
-			at, first[lo:hiA], second[lo:hiB])
+			for v := 0; v < n; v++ {
+				if peaks[v] != firstPeaks[v] {
+					t.Fatalf("vertex %d meter peak: %d at workers=1, %d at workers=%d",
+						v, firstPeaks[v], peaks[v], workers)
+				}
+			}
+		})
 	}
 }
