@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline race bench bench-json bench-diff table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline race bench bench-json bench-diff bench-smoke table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -40,24 +40,39 @@ bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 # Benchmark-regression snapshot (internal/benchfmt, schema
-# lowmemroute.bench/v1): the congest hot-path micro-benchmarks at full
-# precision plus one deterministic pass over the paper tables, rendered as
-# BENCH_$(BENCH_TAG).json. The committed BENCH_PR3.json was produced by
-# `make bench-json BENCH_TAG=PR3`.
+# lowmemroute.bench/v1): the congest hot-path micro-benchmarks and the
+# per-package steady-state handler benchmarks at full precision, plus one
+# deterministic pass over the paper tables, rendered as
+# BENCH_$(BENCH_TAG).json. The committed BENCH_PR4.json was produced by
+# `make bench-json BENCH_TAG=PR4`.
 BENCH_TAG ?= local
+HANDLER_BENCHES = BenchmarkBellmanFordSteady|BenchmarkClusterGrowth|BenchmarkLightPipeline
 bench-json:
 	{ $(GO) test -bench 'BenchmarkRunFlood|BenchmarkRunSparse|BenchmarkDelivery' -benchmem ./internal/congest; \
+	  $(GO) test -bench '$(HANDLER_BENCHES)' -benchmem ./internal/hopset ./internal/core ./internal/treeroute; \
 	  $(GO) test -bench 'BenchmarkTable[12]' -benchtime 1x -benchmem .; } \
 	| $(GO) run ./cmd/benchdiff -emit -tag $(BENCH_TAG) > BENCH_$(BENCH_TAG).json
 	@echo wrote BENCH_$(BENCH_TAG).json
 
-# Compare two snapshots: fails on >30% ns/B/allocs regression or on ANY
-# change in a simulation metric (rounds, mem-words, ...). Usage:
-#   make bench-diff OLD=BENCH_PR3.json NEW=BENCH_local.json
-OLD ?= BENCH_PR3.json
+# Compare two snapshots: fails on >MAX_REGRESS ns/B/allocs regression (with
+# allocs/op regressions at or under ALLOC_FLOOR ignored) or on ANY change in
+# a simulation metric (rounds, mem-words, ...). Usage:
+#   make bench-diff OLD=BENCH_PR4.json NEW=BENCH_local.json
+OLD ?= BENCH_PR4.json
 NEW ?= BENCH_local.json
+MAX_REGRESS ?= 0.30
+ALLOC_FLOOR ?= 0
 bench-diff:
-	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW)
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) -max-regress $(MAX_REGRESS) -alloc-floor $(ALLOC_FLOOR)
+
+# One iteration of every micro-benchmark plus a snapshot round-trip through
+# cmd/benchdiff: catches benchmarks that no longer compile and bench output
+# the harness can no longer parse, without trusting noisy timings.
+bench-smoke:
+	{ $(GO) test -bench 'BenchmarkRunFlood|BenchmarkRunSparse|BenchmarkDelivery' -benchtime 1x -benchmem ./internal/congest; \
+	  $(GO) test -bench '$(HANDLER_BENCHES)' -benchtime 1x -benchmem ./internal/hopset ./internal/core ./internal/treeroute; } \
+	| $(GO) run ./cmd/benchdiff -emit -tag ci-smoke > /tmp/bench-smoke.json
+	$(GO) run ./cmd/benchdiff -old /tmp/bench-smoke.json -new /tmp/bench-smoke.json
 
 # Regenerate the paper's tables and sweeps (EXPERIMENTS.md).
 table1:

@@ -36,7 +36,7 @@ func BenchmarkRunFlood(b *testing.B) {
 		s.Run(all, floodRounds, func(v int, ctx *Ctx) {
 			if ctx.Round() < floodRounds-1 {
 				for _, nb := range g.Neighbors(v) {
-					ctx.Send(nb.To, nil, 1)
+					ctx.Send(nb.To, Payload{}, 1)
 				}
 				ctx.Wake()
 			}
@@ -62,7 +62,7 @@ func BenchmarkRunSparse(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Run(start, hops+1, func(v int, ctx *Ctx) {
 			if v < hops {
-				ctx.Send(v+1, nil, 1)
+				ctx.Send(v+1, Payload{}, 1)
 			}
 		})
 	}
@@ -90,7 +90,7 @@ func BenchmarkDelivery(b *testing.B) {
 		s.Run(leaves, 200, func(v int, ctx *Ctx) {
 			if v != 0 && ctx.Round() == 0 {
 				for j := 0; j < burst; j++ {
-					ctx.Send(0, nil, bigWords)
+					ctx.Send(0, Payload{}, bigWords)
 				}
 			}
 		})

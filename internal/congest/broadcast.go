@@ -7,24 +7,28 @@ import (
 )
 
 // BroadcastMsg is a message disseminated to every vertex via the BFS tree of
-// the communication graph (Lemma 1 in the paper).
+// the communication graph (Lemma 1 in the paper). Unlike point-to-point
+// messages, a broadcast payload's Ext tail stays caller-owned: the analytic
+// primitives deliver the caller's values directly and never touch the
+// payload arena, so the slice must stay valid for the duration of the call.
 type BroadcastMsg struct {
 	Origin  int
-	Payload any
+	Payload Payload
 	Words   int
 }
 
 // Broadcast delivers every message to every vertex, invoking handle once per
 // (vertex, message) pair in deterministic order (vertices ascending; for
-// each vertex, messages in origin order as given). The handler must treat
-// each message streaming - anything it wants to keep it must charge to the
-// vertex's meter itself; the engine only spikes the meter by the size of a
-// single in-flight message, which is exactly the guarantee the pipelined
-// broadcast of Lemma 1 provides.
+// each vertex, messages in origin order as given). The message is passed by
+// pointer to keep the n*M handler calls copy-free; the handler must treat it
+// as read-only and streaming - anything it wants to keep it must charge to
+// the vertex's meter itself, as the engine only spikes the meter by the size
+// of a single in-flight message, which is exactly the guarantee the
+// pipelined broadcast of Lemma 1 provides.
 //
 // Cost charged (Lemma 1): rounds = M + 2D for M messages; every message
 // traverses every BFS-tree edge, so messages += M*(n-1).
-func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m BroadcastMsg)) {
+func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *BroadcastMsg)) {
 	if len(msgs) == 0 {
 		return
 	}
@@ -42,7 +46,8 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m Broadcas
 	s.words += totalWords * int64(n-1)
 	if handle != nil {
 		for v := 0; v < n; v++ {
-			for _, m := range msgs {
+			for j := range msgs {
+				m := &msgs[j]
 				w := int64(m.Words)
 				if w < 1 {
 					w = 1
@@ -62,8 +67,8 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m Broadcas
 // Convergecast aggregates M messages (one per origin) up the BFS tree to a
 // sink that then learns all of them; it has the same O(M + D) pipelined cost
 // as Broadcast. handle is invoked at the sink for every message, in origin
-// order.
-func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m BroadcastMsg)) {
+// order, with the same read-only pointer contract as Broadcast.
+func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m *BroadcastMsg)) {
 	if len(msgs) == 0 {
 		return
 	}
@@ -82,7 +87,8 @@ func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m Br
 	s.messages += int64(len(sorted)) * int64(s.d)
 	s.words += totalWords * int64(s.d)
 	if handle != nil {
-		for _, m := range sorted {
+		for j := range sorted {
+			m := &sorted[j]
 			w := int64(m.Words)
 			if w < 1 {
 				w = 1

@@ -38,13 +38,13 @@ import (
 // weights and identities" regime of the model.
 const DefaultEdgeCapacity = 4
 
-// Message is a point-to-point message delivered along a graph edge.
+// Message is a point-to-point message delivered along a graph edge. The
+// payload is a typed word record (see Payload in payload.go); its Ext tail,
+// if any, is engine-owned and valid only for the round it is delivered in.
 type Message struct {
 	From    int
-	Payload any
+	Payload Payload
 	Words   int
-
-	seq int // per-sender sequence, for deterministic ordering
 }
 
 // StepFunc is one vertex's program for one round. It may read the inbox via
@@ -68,6 +68,20 @@ type Simulator struct {
 
 	inbox  [][]Message
 	meters []Meter
+
+	// inboxMax[v] is the running maximum message word count delivered into
+	// inbox[v] since v last stepped - maintained at delivery time so
+	// stepVertex's transient-memory spike needs no O(inbox) rescan.
+	inboxMax []int64
+
+	// arena recycles the Ext chunks of variable-length payloads; see the
+	// ownership protocol in payload.go.
+	arena wordArena
+
+	// ffOff disables the idle-round fast-forward (see Run); the default is
+	// on, and WithIdleFastForward(false) restores literal round-by-round
+	// execution for A/B testing.
+	ffOff bool
 
 	workers int
 	rng     *rand.Rand
@@ -152,6 +166,15 @@ func WithTrace(t trace.Sink) Option {
 // tests and ablations).
 func WithEdgeCapacity(c int) Option {
 	return func(s *Simulator) { s.capacity = c }
+}
+
+// WithIdleFastForward toggles the idle-round fast-forward (default on):
+// when no vertex is active and only capacity-paced backlog remains, the
+// engine jumps the round counter to the next delivery round instead of
+// simulating each empty round. All observable state - counters, delivery
+// order, meters - is identical either way; only wall-clock work is skipped.
+func WithIdleFastForward(on bool) Option {
+	return func(s *Simulator) { s.ffOff = !on }
 }
 
 // New creates a simulator over communication graph g.
@@ -283,10 +306,9 @@ type Ctx struct {
 	v       int
 	round   int
 	in      []Message
-	out     []Message
-	outEdge []int32 // directed-edge id per out message
+	outEdge []int32 // out-edges this step transitioned from empty to backed
+	extBuf  []uint64
 	wake    bool
-	seq     int
 }
 
 // Round returns the index of the current round within the active Run.

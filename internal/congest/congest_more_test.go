@@ -16,12 +16,12 @@ func TestQueueFIFOPerEdge(t *testing.T) {
 	s.Run([]int{0}, 30, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
 			for i := 0; i < 6; i++ {
-				ctx.Send(1, i, 1)
+				ctx.Send(1, Payload{W0: IntWord(i)}, 1)
 			}
 		}
 		if v == 1 {
 			for _, m := range ctx.In() {
-				got = append(got, m.Payload.(int))
+				got = append(got, WordInt(m.Payload.W0))
 			}
 		}
 	})
@@ -40,21 +40,22 @@ func TestRunTwicePhases(t *testing.T) {
 	// state from phase 1 does not leak into phase 2's inboxes.
 	g := pathGraph(3)
 	s := New(g)
+	const kindPhase1, kindPhase2 = PayloadKind(1), PayloadKind(2)
 	s.Run([]int{0}, 5, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
-			ctx.Send(1, "phase1", 1)
+			ctx.Send(1, Payload{Kind: kindPhase1}, 1)
 		}
 	})
 	r1 := s.Rounds()
 	leaked := false
 	s.Run([]int{2}, 5, func(v int, ctx *Ctx) {
 		for _, m := range ctx.In() {
-			if m.Payload == "phase1" {
+			if m.Payload.Kind == kindPhase1 {
 				leaked = true
 			}
 		}
 		if v == 2 && ctx.Round() == 0 {
-			ctx.Send(1, "phase2", 1)
+			ctx.Send(1, Payload{Kind: kindPhase2}, 1)
 		}
 	})
 	if leaked {
@@ -102,7 +103,7 @@ func TestBroadcastZeroWordMessagesCountAsOne(t *testing.T) {
 func TestConvergecastMemorySpikesAtSink(t *testing.T) {
 	g := pathGraph(4)
 	s := New(g, WithDiameter(3))
-	s.Convergecast(0, []BroadcastMsg{{Origin: 2, Words: 5}}, func(m BroadcastMsg) {})
+	s.Convergecast(0, []BroadcastMsg{{Origin: 2, Words: 5}}, func(m *BroadcastMsg) {})
 	if s.Mem(0).Peak() != 5 {
 		t.Fatalf("sink peak=%d want 5", s.Mem(0).Peak())
 	}
@@ -148,7 +149,7 @@ func TestLargeFanInOneRound(t *testing.T) {
 	received := 0
 	rounds := s.Run(leafIDs(n), 3, func(v int, ctx *Ctx) {
 		if v != 0 && ctx.Round() == 0 {
-			ctx.Send(0, v, 2)
+			ctx.Send(0, Payload{W0: IntWord(v)}, 2)
 		}
 		if v == 0 {
 			received += len(ctx.In())

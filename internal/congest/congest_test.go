@@ -26,14 +26,14 @@ func TestRunFloodOnPath(t *testing.T) {
 	got[0] = 0
 	rounds := s.Run([]int{0}, 100, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
-			ctx.Send(1, "token", 1)
+			ctx.Send(1, Payload{}, 1)
 			return
 		}
 		for range ctx.In() {
 			if got[v] == -1 {
 				got[v] = ctx.Round()
 				if v+1 < n {
-					ctx.Send(v+1, "token", 1)
+					ctx.Send(v+1, Payload{}, 1)
 				}
 			}
 		}
@@ -60,7 +60,7 @@ func TestSendToNonNeighborPanics(t *testing.T) {
 		}
 	}()
 	s.Run([]int{0}, 1, func(v int, ctx *Ctx) {
-		ctx.Send(3, "x", 1) // 0 and 3 are not adjacent on the path
+		ctx.Send(3, Payload{}, 1) // 0 and 3 are not adjacent on the path
 	})
 }
 
@@ -109,7 +109,7 @@ func TestInboxDeterministicOrder(t *testing.T) {
 		var order []int
 		s.Run(leaves, 2, func(v int, ctx *Ctx) {
 			if ctx.Round() == 0 && v != 0 {
-				ctx.Send(0, v, 1)
+				ctx.Send(0, Payload{}, 1)
 				return
 			}
 			if v == 0 {
@@ -137,11 +137,11 @@ func TestMessageAndWordAccounting(t *testing.T) {
 			return
 		}
 		if v == 0 {
-			ctx.Send(1, "a", 3)
+			ctx.Send(1, Payload{}, 3)
 		}
 		if v == 1 {
-			ctx.Send(2, "b", 2)
-			ctx.Send(0, "c", 1)
+			ctx.Send(2, Payload{}, 2)
+			ctx.Send(0, Payload{}, 1)
 		}
 	})
 	if s.Messages() != 3 {
@@ -160,7 +160,7 @@ func TestBandwidthDelaysLargeMessages(t *testing.T) {
 	deliveredAt := -1
 	s.Run([]int{0}, 10, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
-			ctx.Send(1, "big", 5)
+			ctx.Send(1, Payload{}, 5)
 		}
 		if v == 1 && len(ctx.In()) > 0 {
 			deliveredAt = ctx.Round()
@@ -182,7 +182,7 @@ func TestBandwidthQueuePacesDeliveryWithoutMemoryCharge(t *testing.T) {
 	s.Run([]int{0}, 50, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
 			for i := 0; i < 10; i++ {
-				ctx.Send(1, i, 1)
+				ctx.Send(1, Payload{W0: IntWord(i)}, 1)
 			}
 		}
 		if v == 1 {
@@ -207,7 +207,7 @@ func TestUnlimitedCapacityDeliversInstantly(t *testing.T) {
 	s.Run([]int{0}, 3, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
 			for i := 0; i < 10; i++ {
-				ctx.Send(1, i, 7)
+				ctx.Send(1, Payload{W0: IntWord(i)}, 7)
 			}
 		}
 		if v == 1 {
@@ -231,7 +231,7 @@ func TestFanOutSendIsMemoryFree(t *testing.T) {
 	s.Run([]int{0}, 3, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
 			for u := 1; u < n; u++ {
-				ctx.Send(u, "hi", 1)
+				ctx.Send(u, Payload{}, 1)
 			}
 		}
 	})
@@ -307,11 +307,11 @@ func TestBroadcastDeliversToAll(t *testing.T) {
 	g := pathGraph(n)
 	s := New(g)
 	msgs := []BroadcastMsg{
-		{Origin: 3, Payload: "x", Words: 2},
-		{Origin: 7, Payload: "y", Words: 1},
+		{Origin: 3, Words: 2},
+		{Origin: 7, Words: 1},
 	}
 	seen := make([]int, n)
-	s.Broadcast(msgs, func(v int, m BroadcastMsg) {
+	s.Broadcast(msgs, func(v int, m *BroadcastMsg) {
 		seen[v]++
 	})
 	for v, c := range seen {
@@ -354,13 +354,13 @@ func TestConvergecast(t *testing.T) {
 	g := pathGraph(6)
 	s := New(g, WithDiameter(5))
 	msgs := []BroadcastMsg{
-		{Origin: 4, Payload: 40, Words: 1},
-		{Origin: 1, Payload: 10, Words: 1},
-		{Origin: 3, Payload: 30, Words: 1},
+		{Origin: 4, Payload: Payload{W0: IntWord(40)}, Words: 1},
+		{Origin: 1, Payload: Payload{W0: IntWord(10)}, Words: 1},
+		{Origin: 3, Payload: Payload{W0: IntWord(30)}, Words: 1},
 	}
 	var got []int
-	s.Convergecast(0, msgs, func(m BroadcastMsg) {
-		got = append(got, m.Payload.(int))
+	s.Convergecast(0, msgs, func(m *BroadcastMsg) {
+		got = append(got, WordInt(m.Payload.W0))
 	})
 	want := []int{10, 30, 40}
 	if len(got) != len(want) {
@@ -378,7 +378,7 @@ func TestConvergecast(t *testing.T) {
 
 func TestBroadcastSpikesMemory(t *testing.T) {
 	s := New(pathGraph(4))
-	s.Broadcast([]BroadcastMsg{{Origin: 0, Words: 7}}, func(v int, m BroadcastMsg) {})
+	s.Broadcast([]BroadcastMsg{{Origin: 0, Words: 7}}, func(v int, m *BroadcastMsg) {})
 	for v := 0; v < 4; v++ {
 		if s.Mem(v).Peak() != 7 {
 			t.Fatalf("vertex %d peak=%d want 7 (streaming spike)", v, s.Mem(v).Peak())
@@ -403,20 +403,20 @@ func TestWorkersProduceSameResultAsSerial(t *testing.T) {
 		s.Run([]int{0}, g.N(), func(v int, ctx *Ctx) {
 			if ctx.Round() == 0 && v == 0 {
 				for _, nb := range g.Neighbors(v) {
-					ctx.Send(nb.To, dist[v]+nb.Weight, 1)
+					ctx.Send(nb.To, Payload{W0: FloatWord(dist[v] + nb.Weight)}, 1)
 				}
 				return
 			}
 			best := dist[v]
 			for _, m := range ctx.In() {
-				if d := m.Payload.(float64); d < best {
+				if d := WordFloat(m.Payload.W0); d < best {
 					best = d
 				}
 			}
 			if best < dist[v] {
 				dist[v] = best
 				for _, nb := range g.Neighbors(v) {
-					ctx.Send(nb.To, dist[v]+nb.Weight, 1)
+					ctx.Send(nb.To, Payload{W0: FloatWord(dist[v] + nb.Weight)}, 1)
 				}
 			}
 		})

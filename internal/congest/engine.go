@@ -141,6 +141,7 @@ func (s *Simulator) ensureTopology() {
 	s.dirtyIn = make([]int32, ne)
 	s.dirtyCnt = make([]int32, n)
 	s.nextStamp = make([]int64, n)
+	s.inboxMax = make([]int64, n)
 	s.epoch = 0
 
 	shards := s.workers
@@ -213,21 +214,36 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	executed := 0
 	baseRounds := s.rounds
 	for round := 0; round < maxRounds && (len(s.actList) > 0 || pending > 0); round++ {
+		// Idle-round fast-forward: with no vertex active, rounds until the
+		// next delivery only tick bandwidth budgets. Jump straight there -
+		// the rounds counter advances exactly as if each empty round ran
+		// (the metric is exact-gated), only the wall-clock work is skipped.
+		// Tracing emits one sample per simulated round, so a traced run
+		// executes literally.
+		if len(s.actList) == 0 && pending > 0 && s.capacity > 0 && !s.ffOff && s.tracer == nil {
+			if jump := s.fastForward(maxRounds - 1 - round); jump > 0 {
+				round += jump
+				executed += jump
+			}
+		}
+
 		msgsBefore, wordsBefore := s.messages, s.words
 		s.runRound(round, step)
 		executed++
 
-		// Ran vertices have consumed their inboxes; recycle the buffers
-		// (zeroing first so delivered payloads don't outlive the round).
+		// Ran vertices have consumed their inboxes; harvest the arena
+		// chunks and recycle the buffers. recycleExt nils every Ext, so
+		// truncating is enough - no delivered payload outlives the round.
 		for _, v := range s.actList {
 			in := s.inbox[v]
-			clear(in)
+			s.recycleExt(in)
 			s.inbox[v] = in[:0]
 		}
 
-		// Enqueue this round's sends on their directed edges and collect
-		// wake requests, in sender order. Serial: this is bookkeeping over
-		// data the step phase already produced.
+		// Register this round's sends (messages are already on their edge
+		// queues, appended by Ctx.Send) and collect wake requests, in
+		// sender order. Serial: dirty lists and shard worklists are shared
+		// across senders.
 		s.epoch++
 		next := s.nextList[:0]
 		for i := range s.actList {
@@ -236,23 +252,17 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 				s.nextStamp[c.v] = s.epoch
 				next = append(next, c.v)
 			}
-			for j := range c.out {
-				e := c.outEdge[j]
-				q := &s.queues[e]
-				if q.empty() {
-					to := int(s.outTo[e])
-					if s.dirtyCnt[to] == 0 {
-						sh := to / s.shardBlock
-						s.shardCur[sh] = append(s.shardCur[sh], int32(to))
-						pending++
-					}
-					s.dirtyIn[int(s.inStart[to])+int(s.dirtyCnt[to])] = s.inPos[e]
-					s.dirtyCnt[to]++
+			for _, e := range c.outEdge {
+				to := int(s.outTo[e])
+				if s.dirtyCnt[to] == 0 {
+					sh := to / s.shardBlock
+					s.shardCur[sh] = append(s.shardCur[sh], int32(to))
+					pending++
 				}
-				q.msgs = append(q.msgs, c.out[j])
+				s.dirtyIn[int(s.inStart[to])+int(s.dirtyCnt[to])] = s.inPos[e]
+				s.dirtyCnt[to]++
 			}
-			clear(c.out)
-			c.out = c.out[:0]
+			c.outEdge = c.outEdge[:0]
 		}
 
 		// Deliver within bandwidth, sharded by destination: every shard
@@ -306,8 +316,9 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	// Drop undelivered state if we hit maxRounds.
 	for _, v := range s.actList {
 		in := s.inbox[v]
-		clear(in)
+		s.recycleExt(in)
 		s.inbox[v] = in[:0]
+		s.inboxMax[v] = 0
 	}
 	if pending > 0 {
 		s.drainAll()
@@ -357,19 +368,13 @@ func (s *Simulator) stepVertex(i, round int, step StepFunc) {
 	c := &s.ctxs[i]
 	c.sim, c.v, c.round = s, v, round
 	c.in = s.inbox[v]
-	c.out = c.out[:0]
 	c.outEdge = c.outEdge[:0]
 	c.wake = false
-	c.seq = 0
 	// Link buffers are free; charge only the single largest in-flight
-	// message as transient working space.
-	var mxWords int64
-	for _, m := range c.in {
-		if int64(m.Words) > mxWords {
-			mxWords = int64(m.Words)
-		}
-	}
-	s.meters[v].Spike(mxWords)
+	// message as transient working space. The maximum is maintained at
+	// delivery time (drainDst), so no inbox rescan here.
+	s.meters[v].Spike(s.inboxMax[v])
+	s.inboxMax[v] = 0
 	step(v, c)
 }
 
@@ -413,16 +418,18 @@ func (s *Simulator) drainDst(v int) (int64, int64) {
 	slices.Sort(region)
 	unlimited := s.capacity <= 0
 	live := 0
+	inb := s.inbox[v]
+	inbMax := s.inboxMax[v]
 	for _, p := range region {
 		q := &s.queues[s.inEdges[p]]
 		budget := s.capacity
 		for q.head < len(q.msgs) {
-			head := q.msgs[q.head]
+			m := &q.msgs[q.head]
 			if !unlimited {
 				if budget <= 0 {
 					break
 				}
-				if remaining := head.Words - q.sent; remaining > budget {
+				if remaining := m.Words - q.sent; remaining > budget {
 					q.sent += budget
 					budget = 0
 					break
@@ -430,12 +437,18 @@ func (s *Simulator) drainDst(v int) (int64, int64) {
 					budget -= remaining
 				}
 			}
-			q.msgs[q.head] = Message{}
+			w := int64(m.Words)
+			inb = append(inb, *m)
+			// The inbox owns the arena chunk now; scalar words may go
+			// stale in the slot (Ext is the only pointer in a Message).
+			m.Payload.Ext = nil
 			q.head++
 			q.sent = 0
-			s.inbox[v] = append(s.inbox[v], head)
+			if w > inbMax {
+				inbMax = w
+			}
 			msgs++
-			words += int64(head.Words)
+			words += w
 		}
 		q.compact()
 		if !q.empty() {
@@ -443,6 +456,8 @@ func (s *Simulator) drainDst(v int) (int64, int64) {
 			live++
 		}
 	}
+	s.inbox[v] = inb
+	s.inboxMax[v] = inbMax
 	s.dirtyCnt[v] = int32(live)
 	return msgs, words
 }
@@ -456,6 +471,7 @@ func (s *Simulator) drainAll() {
 			base := int(s.inStart[v])
 			for i := 0; i < int(s.dirtyCnt[v]); i++ {
 				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
+				s.recycleExt(q.msgs[q.head:]) // delivered prefix holds no chunks
 				clear(q.msgs)
 				q.msgs = q.msgs[:0]
 				q.head, q.sent = 0, 0
@@ -490,9 +506,11 @@ func (s *Simulator) queueBacklog() int64 {
 
 // Send queues a message of the given word count to neighbor `to`. Delivery
 // happens when the edge's bandwidth allows; a backlogged edge delays later
-// messages but charges no memory (see edgeQueue). Sending to a non-neighbor
-// panics: it is a programming error that would break the model.
-func (c *Ctx) Send(to int, payload any, words int) {
+// messages but charges no memory (see edgeQueue). The payload's Ext slice is
+// borrowed: Send copies it into an arena chunk, so the caller's buffer (and a
+// received payload being relayed) may be reused immediately. Sending to a
+// non-neighbor panics: it is a programming error that would break the model.
+func (c *Ctx) Send(to int, p Payload, words int) {
 	e := c.sim.edgeID(c.v, to)
 	if e < 0 {
 		panic(fmt.Sprintf("congest: vertex %d sent to non-neighbor %d", c.v, to))
@@ -500,7 +518,61 @@ func (c *Ctx) Send(to int, payload any, words int) {
 	if words < 1 {
 		words = 1
 	}
-	c.out = append(c.out, Message{From: c.v, Payload: payload, Words: words, seq: c.seq})
-	c.seq++
-	c.outEdge = append(c.outEdge, e)
+	p.Ext = c.sim.arena.clone(p.Ext)
+	// Enqueue straight onto the edge queue: the sender is this queue's only
+	// writer and delivery only runs between rounds, so the append is safe
+	// even on the parallel step path - and the message is copied once, not
+	// staged through a per-context out buffer. Cross-vertex bookkeeping
+	// (dirty lists, shard worklists) is deferred to the serial enqueue
+	// walk, which only needs the empty->backed transitions.
+	q := &c.sim.queues[e]
+	if q.empty() {
+		c.outEdge = append(c.outEdge, e)
+	}
+	q.msgs = append(q.msgs, Message{From: c.v, Payload: p, Words: words})
+}
+
+// fastForward advances every backlogged queue by k-1 rounds of bandwidth,
+// where round k is the earliest future round in which any head message
+// completes (k >= 1; k == 1 means the next round already delivers and there
+// is nothing to skip). The jump is clamped to limit so Run still respects
+// maxRounds. Only called when no vertex is active: an idle round does
+// nothing but add one capacity of budget to each backlogged edge, so
+// advancing sent by jump*capacity reproduces the skipped rounds exactly.
+func (s *Simulator) fastForward(limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	minRounds := 0
+	for sh := range s.shardCur {
+		for _, v32 := range s.shardCur[sh] {
+			v := int(v32)
+			base := int(s.inStart[v])
+			for i := 0; i < int(s.dirtyCnt[v]); i++ {
+				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
+				r := (q.msgs[q.head].Words - q.sent + s.capacity - 1) / s.capacity
+				if minRounds == 0 || r < minRounds {
+					minRounds = r
+				}
+			}
+		}
+	}
+	jump := minRounds - 1
+	if jump > limit {
+		jump = limit
+	}
+	if jump <= 0 {
+		return 0
+	}
+	adv := jump * s.capacity
+	for sh := range s.shardCur {
+		for _, v32 := range s.shardCur[sh] {
+			v := int(v32)
+			base := int(s.inStart[v])
+			for i := 0; i < int(s.dirtyCnt[v]); i++ {
+				s.queues[s.inEdges[s.dirtyIn[base+i]]].sent += adv
+			}
+		}
+	}
+	return jump
 }

@@ -21,7 +21,7 @@ import (
 // can see, plus when it saw it.
 type rcvd struct {
 	Round, From, Words int
-	Payload            any
+	Payload            Payload
 }
 
 // TestRunWorkerCountInvariance runs the same flood workload at several
@@ -56,7 +56,7 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 				for _, nb := range g.Neighbors(v) {
 					// Payload identifies the send event; Words varies so the
 					// capacity pacer splits some messages across rounds.
-					ctx.Send(nb.To, v*1000+ctx.Round(), 1+(v+nb.To+ctx.Round())%7)
+					ctx.Send(nb.To, Payload{W0: IntWord(v*1000 + ctx.Round())}, 1+(v+nb.To+ctx.Round())%7)
 				}
 				ctx.Wake()
 			}
@@ -115,7 +115,7 @@ func TestPacingLargeMessage(t *testing.T) {
 			gotRound := -1
 			s.Run([]int{0}, 100, func(v int, ctx *Ctx) {
 				if v == 0 && ctx.Round() == 0 {
-					ctx.Send(1, "m", tc.words)
+					ctx.Send(1, Payload{}, tc.words)
 				}
 				if v == 1 && len(ctx.In()) > 0 {
 					gotRound = ctx.Round()
@@ -140,9 +140,9 @@ func TestPacingFIFOPerEdge(t *testing.T) {
 	var order []rcvd
 	s.Run([]int{0}, 100, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
-			ctx.Send(1, "big", 10)   // occupies rounds 0..2
-			ctx.Send(1, "small", 1)  // would fit in round 0's budget, must wait
-			ctx.Send(1, "second", 3) // fits round 2's leftover after big+small
+			ctx.Send(1, Payload{W0: 1}, 10) // "big": occupies rounds 0..2
+			ctx.Send(1, Payload{W0: 2}, 1)  // "small": would fit in round 0's budget, must wait
+			ctx.Send(1, Payload{W0: 3}, 3)  // "second": fits round 2's leftover after big+small
 		}
 		for _, m := range ctx.In() {
 			order = append(order, rcvd{Round: ctx.Round(), From: m.From, Words: m.Words, Payload: m.Payload})
@@ -152,9 +152,9 @@ func TestPacingFIFOPerEdge(t *testing.T) {
 		// big finishes in transmission round 2 (words 4+4+2) leaving budget 2;
 		// small (1 word) fits the same round; second (3 words) does not and
 		// crosses in round 3.
-		{Round: 3, From: 0, Words: 10, Payload: "big"},
-		{Round: 3, From: 0, Words: 1, Payload: "small"},
-		{Round: 4, From: 0, Words: 3, Payload: "second"},
+		{Round: 3, From: 0, Words: 10, Payload: Payload{W0: 1}},
+		{Round: 3, From: 0, Words: 1, Payload: Payload{W0: 2}},
+		{Round: 4, From: 0, Words: 3, Payload: Payload{W0: 3}},
 	}
 	if !reflect.DeepEqual(order, want) {
 		t.Fatalf("delivery order:\n got %v\nwant %v", order, want)
@@ -172,16 +172,16 @@ func TestPacingUnlimitedCapacity(t *testing.T) {
 			var got []rcvd
 			s.Run([]int{0}, 10, func(v int, ctx *Ctx) {
 				if v == 0 && ctx.Round() == 0 {
-					ctx.Send(1, "huge", 1_000_000)
-					ctx.Send(1, "tail", 1)
+					ctx.Send(1, Payload{W0: 1}, 1_000_000) // "huge"
+					ctx.Send(1, Payload{W0: 2}, 1)         // "tail"
 				}
 				for _, m := range ctx.In() {
 					got = append(got, rcvd{Round: ctx.Round(), From: m.From, Words: m.Words, Payload: m.Payload})
 				}
 			})
 			want := []rcvd{
-				{Round: 1, From: 0, Words: 1_000_000, Payload: "huge"},
-				{Round: 1, From: 0, Words: 1, Payload: "tail"},
+				{Round: 1, From: 0, Words: 1_000_000, Payload: Payload{W0: 1}},
+				{Round: 1, From: 0, Words: 1, Payload: Payload{W0: 2}},
 			}
 			if !reflect.DeepEqual(got, want) {
 				t.Fatalf("unlimited-capacity delivery:\n got %v\nwant %v", got, want)

@@ -67,12 +67,12 @@ func TestRunEmitsRoundSamples(t *testing.T) {
 	s := New(g, WithTrace(sink))
 	s.Run([]int{0}, 50, func(v int, ctx *Ctx) {
 		if v == 0 && ctx.Round() == 0 {
-			ctx.Send(1, "fwd", 1)
+			ctx.Send(1, Payload{}, 1)
 			return
 		}
 		for range ctx.In() {
 			if v+1 < n {
-				ctx.Send(v+1, "fwd", 1)
+				ctx.Send(v+1, Payload{}, 1)
 			}
 		}
 	})
@@ -104,7 +104,7 @@ func TestBroadcastEmitsAggregateSample(t *testing.T) {
 	g := pathGraph(5)
 	sink := &collectingSink{}
 	s := New(g, WithTrace(sink))
-	s.Broadcast([]BroadcastMsg{{Origin: 0, Payload: "x", Words: 2}}, nil)
+	s.Broadcast([]BroadcastMsg{{Origin: 0, Words: 2}}, nil)
 	if len(sink.samples) != 1 {
 		t.Fatalf("samples=%d want 1", len(sink.samples))
 	}
@@ -143,7 +143,7 @@ func TestTracingIsObservational(t *testing.T) {
 				ctx.Mem().Spike(5)
 				for _, u := range s.Graph().Neighbors(v) {
 					if !seen[u.To] {
-						ctx.Send(u.To, "t", 1)
+						ctx.Send(u.To, Payload{}, 1)
 					}
 				}
 			}

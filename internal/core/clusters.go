@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"lowmemroute/internal/clusterroute"
@@ -19,27 +20,186 @@ const debugClusters = false
 type centry struct {
 	dist   float64
 	parent int
-	// via holds the hopset edge (x, w) that produced this estimate, or
-	// nil when it came over the host graph.
-	via *[2]int
+	// via holds the tail x of the hopset edge (x, w) that produced this
+	// estimate, or graph.NoVertex when it came over the host graph. (The
+	// head is always the holding vertex itself.)
+	via int
 	// force marks unconditional membership via path recovery (Claim 9's
 	// "vertices of P(e) join the tree").
 	force bool
 }
 
-// rootEst is one (root, estimate) pair of the H-step broadcast payload,
-// shipped root-sorted so the wire image is canonical.
-type rootEst struct {
+// rootCEntry is a centry tagged with its root; per-vertex entries are kept
+// root-sorted so both wire images and relaxation schedules are canonical
+// without per-iteration key sorts.
+type rootCEntry struct {
 	root int
-	dist float64
+	centry
+	dirty bool
 }
 
-// hMsg is the H-step broadcast payload of the approximate cluster growth: a
-// virtual vertex's limited estimates plus its hopset out-edges.
-type hMsg struct {
-	u    int
-	ests []rootEst
-	out  []hopset.Edge
+// lowerCRoot returns the first index in es whose root is >= root.
+func lowerCRoot(es []rootCEntry, root int) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if es[mid].root < root {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Wire format of the H-step broadcast of the approximate cluster growth: a
+// virtual vertex's limited estimates plus its hopset out-edges. Inline words
+// carry the sender and the estimate count; the tail is (root, dist) pairs
+// followed by (To, Weight, Level) edge triples.
+const kindHMsg congest.PayloadKind = 3
+
+// vr addresses one (vertex, root) estimate on the dirty worklist.
+type vr struct{ v, r int }
+
+// clusterGrowth is the reusable workspace of growApproxClusters: estimates,
+// the dirty worklist, seed/message/tail buffers and the bound step/handler
+// functions all persist across levels, so steady-state growth iterations
+// allocate nothing.
+type clusterGrowth struct {
+	b   *builder
+	est [][]rootCEntry
+
+	dirtyList []vr
+	srcs      []hopset.Source
+	msgs      []congest.BroadcastMsg
+	extBufs   [][]uint64
+	rev       []int
+
+	ex        *hopset.Explorer
+	handler   func(w int, m *congest.BroadcastMsg)
+	forwardFn hopset.LimitFunc
+	hostFn    hopset.LimitFunc
+
+	// Per-call parameters of the limit rules.
+	bound []float64
+	eps   float64
+}
+
+func newClusterGrowth(b *builder) *clusterGrowth {
+	g := &clusterGrowth{
+		b:   b,
+		est: make([][]rootCEntry, b.n),
+		ex:  hopset.NewExplorer(b.sim),
+		eps: b.o.Epsilon,
+	}
+	g.handler = g.onHMsg
+	g.forwardFn = g.forwardLimit
+	g.hostFn = g.hostLimit
+	return g
+}
+
+func (g *clusterGrowth) hostCap(v int) float64 { return g.bound[v] / (1 + g.eps) }
+func (g *clusterGrowth) virtCap(v int) float64 {
+	return g.bound[v] / ((1 + g.eps) * (1 + g.eps))
+}
+
+func (g *clusterGrowth) forwardLimit(v, root int, d float64) bool {
+	if g.b.vg.IsMember(v) {
+		return d < g.virtCap(v)
+	}
+	return d < g.hostCap(v)
+}
+
+func (g *clusterGrowth) hostLimit(v, root int, d float64) bool { return d < g.hostCap(v) }
+
+// get returns the entry for (v, root), or nil.
+func (g *clusterGrowth) get(v, root int) *rootCEntry {
+	es := g.est[v]
+	if i := lowerCRoot(es, root); i < len(es) && es[i].root == root {
+		return &es[i]
+	}
+	return nil
+}
+
+// newEntry inserts (keeping root order) and charges the 3 retained words
+// (dist, parent, root id) to v's meter. The returned pointer is valid until
+// the next insert at v.
+func (g *clusterGrowth) newEntry(v, root int, e centry) *rootCEntry {
+	es := g.est[v]
+	i := lowerCRoot(es, root)
+	es = append(es, rootCEntry{})
+	copy(es[i+1:], es[i:])
+	es[i] = rootCEntry{root: root, centry: e}
+	g.est[v] = es
+	g.b.sim.Mem(v).Charge(3)
+	return &g.est[v][i]
+}
+
+func (g *clusterGrowth) markDirty(v, r int, ent *rootCEntry) {
+	if !ent.dirty {
+		ent.dirty = true
+		g.dirtyList = append(g.dirtyList, vr{v, r})
+	}
+}
+
+// extBuf returns the reusable tail buffer for broadcast message index i
+// (broadcast payload tails stay caller-owned, so per-index pooling is safe).
+func (g *clusterGrowth) extBuf(i, n int) []uint64 {
+	for len(g.extBufs) <= i {
+		g.extBufs = append(g.extBufs, nil)
+	}
+	if cap(g.extBufs[i]) < n {
+		g.extBufs[i] = make([]uint64, n)
+	}
+	return g.extBufs[i][:n]
+}
+
+// relaxEsts relaxes every shipped (root, dist) pair across one hopset edge
+// of weight w incident to vertex w (from sender u).
+func (g *clusterGrowth) relaxEsts(w, u int, ests []uint64, weight float64) {
+	for j := 0; j+1 < len(ests); j += 2 {
+		r := congest.WordInt(ests[j])
+		alt := congest.WordFloat(ests[j+1]) + weight
+		if cur := g.get(w, r); cur != nil {
+			if alt >= cur.dist {
+				continue
+			}
+			cur.dist = alt
+			cur.via = u
+			cur.parent = graph.NoVertex
+			g.markDirty(w, r, cur)
+		} else {
+			ent := g.newEntry(w, r, centry{dist: alt, parent: graph.NoVertex, via: u})
+			g.markDirty(w, r, ent)
+		}
+	}
+}
+
+// onHMsg handles one H-step broadcast delivery at virtual vertex w.
+func (g *clusterGrowth) onHMsg(w int, m *congest.BroadcastMsg) {
+	p := &m.Payload
+	if p.Kind != kindHMsg {
+		return
+	}
+	u := congest.WordInt(p.W0)
+	if !g.b.vg.IsMember(w) || w == u {
+		return
+	}
+	ne := congest.WordInt(p.W1)
+	ests := p.Ext[:2*ne]
+	edges := p.Ext[2*ne:]
+	// Forward direction: an out-edge (u -> w) relaxes w.
+	for j := 0; j+2 < len(edges); j += 3 {
+		if congest.WordInt(edges[j]) == w {
+			g.relaxEsts(w, u, ests, congest.WordFloat(edges[j+1]))
+		}
+	}
+	// Reverse direction: w's own out-edge (w -> u) relaxes w.
+	for _, e := range g.b.hs.Out(w) {
+		if e.To == u {
+			g.relaxEsts(w, u, ests, e.Weight)
+		}
+	}
 }
 
 // approxClusters grows the approximate clusters C̃(v) of every high-level
@@ -68,31 +228,30 @@ func (b *builder) approxClusters() error {
 }
 
 func (b *builder) growApproxClusters(level int, roots []int) error {
-	bound := b.pivotD[level+1]
-	eps := b.o.Epsilon
-	hostCap := func(v int) float64 { return bound[v] / (1 + eps) }
-	virtCap := func(v int) float64 { return bound[v] / ((1 + eps) * (1 + eps)) }
-	forwardLimit := func(v, root int, d float64) bool {
-		if b.vg.IsMember(v) {
-			return d < virtCap(v)
-		}
-		return d < hostCap(v)
+	if b.cg == nil {
+		b.cg = newClusterGrowth(b)
 	}
+	if err := b.cg.grow(level, roots); err != nil {
+		return err
+	}
+	return b.cg.assembleTrees(roots)
+}
 
-	est := make([]map[int]*centry, b.n)
-	newEntry := func(v, root int, e centry) {
-		if est[v] == nil {
-			est[v] = make(map[int]*centry)
-		}
-		ec := e
-		est[v][root] = &ec
-		b.sim.Mem(v).Charge(3)
+// grow runs the growth iterations, path recovery, and the final limited
+// exploration; the results stay in the workspace for assembleTrees. The
+// meter charges of adopted estimates (3 words each in newEntry) model the
+// retained cluster knowledge and are intentionally not released.
+func (g *clusterGrowth) grow(level int, roots []int) error {
+	b := g.b
+	g.bound = b.pivotD[level+1]
+	for v := range g.est {
+		g.est[v] = g.est[v][:0]
 	}
-	type vr struct{ v, r int }
-	dirty := make(map[vr]bool)
+	g.dirtyList = g.dirtyList[:0]
+
 	for _, r := range roots {
-		newEntry(r, r, centry{dist: 0, parent: graph.NoVertex, force: true})
-		dirty[vr{r, r}] = true
+		ent := g.newEntry(r, r, centry{dist: 0, parent: graph.NoVertex, via: graph.NoVertex, force: true})
+		g.markDirty(r, r, ent)
 	}
 
 	maxIter := b.o.Beta
@@ -100,120 +259,97 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 		maxIter = 4 * (b.vg.M() + 1)
 	}
 	iters := 0
-	for iter := 0; iter < maxIter && len(dirty) > 0; iter++ {
+	for iter := 0; iter < maxIter && len(g.dirtyList) > 0; iter++ {
 		iters = iter + 1
 		// E' step: re-propagate every estimate that changed since the last
 		// exploration (monotone BF: older influence already propagated).
-		var srcs []hopset.Source
-		keys := make([]vr, 0, len(dirty))
-		for k := range dirty {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].v != keys[j].v {
-				return keys[i].v < keys[j].v
+		// Consume the worklist in (vertex, root) order so seed order - and
+		// with it Explore's tie-breaking - is canonical.
+		slices.SortFunc(g.dirtyList, func(a, c vr) int {
+			if a.v != c.v {
+				return a.v - c.v
 			}
-			return keys[i].r < keys[j].r
+			return a.r - c.r
 		})
-		for _, k := range keys {
-			e := est[k.v][k.r]
-			if forwardLimit(k.v, k.r, e.dist) || k.v == k.r {
-				srcs = append(srcs, hopset.Source{Root: k.r, At: k.v, Dist: e.dist})
+		g.srcs = g.srcs[:0]
+		for _, k := range g.dirtyList {
+			e := g.get(k.v, k.r)
+			e.dirty = false
+			if g.forwardLimit(k.v, k.r, e.dist) || k.v == k.r {
+				g.srcs = append(g.srcs, hopset.Source{Root: k.r, At: k.v, Dist: e.dist})
 			}
 		}
-		dirty = make(map[vr]bool)
-		if len(srcs) > 0 {
-			ex, err := hopset.Explore(b.sim, srcs, hopset.ExploreOptions{
+		g.dirtyList = g.dirtyList[:0]
+		if len(g.srcs) > 0 {
+			ex, err := g.ex.Explore(g.srcs, hopset.ExploreOptions{
 				Hops:  b.vg.B(),
-				Limit: forwardLimit,
+				Limit: g.forwardFn,
 			})
 			if err != nil {
 				return err
 			}
 			for v := 0; v < b.n; v++ {
-				for r, en := range ex.Entries[v] {
-					cur, ok := est[v][r]
-					if ok && en.Dist >= cur.dist {
-						continue
-					}
+				for _, en := range ex.At(v) {
 					if en.Parent == graph.NoVertex {
 						continue // the seed's own echo
 					}
-					if ok {
+					r := en.Root
+					if cur := g.get(v, r); cur != nil {
+						if en.Dist >= cur.dist {
+							continue
+						}
 						cur.dist = en.Dist
 						cur.parent = en.Parent
-						cur.via = nil
+						cur.via = graph.NoVertex
+						g.markDirty(v, r, cur)
 					} else {
-						newEntry(v, r, centry{dist: en.Dist, parent: en.Parent})
+						ent := g.newEntry(v, r, centry{dist: en.Dist, parent: en.Parent, via: graph.NoVertex})
+						g.markDirty(v, r, ent)
 					}
-					dirty[vr{v, r}] = true
 				}
 			}
 		}
 
 		// H step: one broadcast; each virtual vertex ships its limited
 		// estimates for all clusters plus its (cluster-independent)
-		// out-edges. Estimates travel as a root-sorted slice: a map payload
-		// has no canonical wire image and would leak iteration order into
-		// the relaxation schedule.
-		var msgs []congest.BroadcastMsg
+		// out-edges. Estimates travel root-sorted: the per-vertex entry
+		// slices already are, so the wire image is canonical by
+		// construction.
+		g.msgs = g.msgs[:0]
 		for _, u := range b.vg.Members() {
-			rs := make([]int, 0, len(est[u]))
-			for r := range est[u] {
-				rs = append(rs, r)
-			}
-			sort.Ints(rs)
-			ests := make([]rootEst, 0, len(rs))
-			for _, r := range rs {
-				if e := est[u][r]; e.dist < virtCap(u) || u == r {
-					ests = append(ests, rootEst{root: r, dist: e.dist})
+			es := g.est[u]
+			out := b.hs.Out(u)
+			buf := g.extBuf(len(g.msgs), 2*len(es)+3*len(out))
+			ne := 0
+			for idx := range es {
+				if e := &es[idx]; e.dist < g.virtCap(u) || u == e.root {
+					buf[2*ne] = congest.IntWord(e.root)
+					buf[2*ne+1] = congest.FloatWord(e.dist)
+					ne++
 				}
 			}
-			if len(ests) == 0 {
+			if ne == 0 {
 				continue
 			}
-			msgs = append(msgs, congest.BroadcastMsg{
-				Origin:  u,
-				Payload: hMsg{u: u, ests: ests, out: b.hs.Out(u)},
-				Words:   1 + 2*len(ests) + 3*len(b.hs.Out(u)),
+			pos := 2 * ne
+			for _, ed := range out {
+				buf[pos] = congest.IntWord(ed.To)
+				buf[pos+1] = congest.FloatWord(ed.Weight)
+				buf[pos+2] = congest.IntWord(ed.Level)
+				pos += 3
+			}
+			g.msgs = append(g.msgs, congest.BroadcastMsg{
+				Origin: u,
+				Payload: congest.Payload{
+					Kind: kindHMsg,
+					W0:   congest.IntWord(u),
+					W1:   uint64(ne),
+					Ext:  buf[:pos],
+				},
+				Words: 1 + 2*ne + 3*len(out),
 			})
 		}
-		b.sim.Broadcast(msgs, func(w int, m congest.BroadcastMsg) {
-			p := m.Payload.(hMsg)
-			if !b.vg.IsMember(w) || w == p.u {
-				return
-			}
-			relax := func(weight float64) {
-				for _, re := range p.ests {
-					r := re.root
-					alt := re.dist + weight
-					cur, ok := est[w][r]
-					if ok && alt >= cur.dist {
-						continue
-					}
-					via := [2]int{p.u, w}
-					if ok {
-						cur.dist = alt
-						cur.via = &via
-						cur.parent = graph.NoVertex
-					} else {
-						newEntry(w, r, centry{dist: alt, parent: graph.NoVertex, via: &via})
-					}
-					//lint:meterfree dirty is the growth loop's host-side worklist, not processor state; est entries are charged in newEntry
-					dirty[vr{w, r}] = true
-				}
-			}
-			for _, e := range p.out {
-				if e.To == w {
-					relax(e.Weight)
-				}
-			}
-			for _, e := range b.hs.Out(w) {
-				if e.To == p.u {
-					relax(e.Weight)
-				}
-			}
-		})
+		b.sim.Broadcast(g.msgs, g.handler)
 	}
 	if iters > b.maxBeta {
 		b.maxBeta = iters
@@ -223,24 +359,20 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 	// all vertices of the edge's underlying host path to the cluster
 	// (Claim 9) and fixes the endpoint's host parent.
 	maxPath := 0
-	var recovered int64
 	for w := 0; w < b.n; w++ {
-		rs := make([]int, 0, len(est[w]))
-		for r := range est[w] {
-			rs = append(rs, r)
-		}
-		sort.Ints(rs)
-		for _, r := range rs {
-			e := est[w][r]
-			if e.via == nil {
+		for idx := 0; idx < len(g.est[w]); idx++ {
+			r, x := g.est[w][idx].root, g.est[w][idx].via
+			if x == graph.NoVertex {
 				continue
 			}
-			x := e.via[0]
 			path, ok := b.hs.Path(x, w)
 			if !ok {
 				if path, ok = b.hs.Path(w, x); ok {
 					// Reverse so the walk goes x -> w.
-					rev := make([]int, len(path))
+					if cap(g.rev) < len(path) {
+						g.rev = make([]int, len(path))
+					}
+					rev := g.rev[:len(path)]
 					for i, p := range path {
 						rev[len(path)-1-i] = p
 					}
@@ -253,21 +385,23 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 			if len(path) > maxPath {
 				maxPath = len(path)
 			}
-			recovered += int64(len(path))
+			src := g.get(x, r)
+			if src == nil {
+				return fmt.Errorf("core: missing source estimate for hopset edge (%d,%d)", x, w)
+			}
 			// Cumulative distances along the path from x.
-			dx := est[x][r].dist
-			acc := dx
-			for idx := 1; idx < len(path); idx++ {
-				u, prev := path[idx], path[idx-1]
+			acc := src.dist
+			for i := 1; i < len(path); i++ {
+				u, prev := path[i], path[i-1]
 				wgt, okw := b.g.EdgeWeight(prev, u)
 				if !okw {
 					return fmt.Errorf("core: recovery path hop {%d,%d} not an edge", prev, u)
 				}
 				acc += wgt
-				cur, okc := est[u][r]
+				cur := g.get(u, r)
 				switch {
-				case !okc:
-					newEntry(u, r, centry{dist: acc, parent: prev, force: true})
+				case cur == nil:
+					g.newEntry(u, r, centry{dist: acc, parent: prev, via: graph.NoVertex, force: true})
 				case (u == w && cur.parent == graph.NoVertex) || acc < cur.dist:
 					// Anchor to the recovery path: either this improves the
 					// estimate, or this is the walk of u's own hopset edge
@@ -279,7 +413,7 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 					// decreasing.
 					cur.dist = acc
 					cur.parent = prev
-					cur.via = nil
+					cur.via = graph.NoVertex
 					cur.force = true
 				default:
 					cur.force = true
@@ -290,50 +424,48 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 	// Protocol cost (pipelined notifications along all used paths).
 	b.sim.AddRounds(int64(maxPath) + 2*int64(b.sim.Diameter()))
 	// Final limited B-bounded exploration in G from every member estimate,
-	// seeded in sorted root order (Explore's tie-breaking follows seed
-	// order, so map order must not pick the winners).
-	var srcs []hopset.Source
+	// seeded in (vertex, root) order (Explore's tie-breaking follows seed
+	// order, so the schedule must be canonical).
+	g.srcs = g.srcs[:0]
 	for v := 0; v < b.n; v++ {
-		rs := make([]int, 0, len(est[v]))
-		for r := range est[v] {
-			rs = append(rs, r)
-		}
-		sort.Ints(rs)
-		for _, r := range rs {
-			if e := est[v][r]; e.force || e.dist < hostCap(v) {
-				srcs = append(srcs, hopset.Source{Root: r, At: v, Dist: e.dist})
+		for idx := range g.est[v] {
+			if e := &g.est[v][idx]; e.force || e.dist < g.hostCap(v) {
+				g.srcs = append(g.srcs, hopset.Source{Root: e.root, At: v, Dist: e.dist})
 			}
 		}
 	}
-	hostLimit := func(v, root int, d float64) bool { return d < hostCap(v) }
-	if len(srcs) > 0 {
-		ex, err := hopset.Explore(b.sim, srcs, hopset.ExploreOptions{Hops: b.vg.B(), Limit: hostLimit})
+	if len(g.srcs) > 0 {
+		ex, err := g.ex.Explore(g.srcs, hopset.ExploreOptions{Hops: b.vg.B(), Limit: g.hostFn})
 		if err != nil {
 			return err
 		}
 		for v := 0; v < b.n; v++ {
-			for r, en := range ex.Entries[v] {
+			for _, en := range ex.At(v) {
 				if en.Parent == graph.NoVertex {
 					continue
 				}
-				cur, ok := est[v][r]
-				if ok && en.Dist >= cur.dist {
-					continue
-				}
-				if ok {
+				if cur := g.get(v, en.Root); cur != nil {
+					if en.Dist >= cur.dist {
+						continue
+					}
 					cur.dist = en.Dist
 					cur.parent = en.Parent
-					cur.via = nil
+					cur.via = graph.NoVertex
 				} else {
-					newEntry(v, r, centry{dist: en.Dist, parent: en.Parent})
+					g.newEntry(v, en.Root, centry{dist: en.Dist, parent: en.Parent, via: graph.NoVertex})
 				}
 			}
 		}
 	}
-	_ = recovered
+	return nil
+}
 
-	// Assemble one tree per root: members are the root, forced joiners,
-	// and vertices whose estimate beats the (1+ε)-relaxed bound.
+// assembleTrees builds one tree per root from the workspace estimates:
+// members are the root, forced joiners, and vertices whose estimate beats
+// the (1+ε)-relaxed bound. The output arrays are retained by the builder,
+// so they are freshly allocated here.
+func (g *clusterGrowth) assembleTrees(roots []int) error {
+	b := g.b
 	for _, r := range roots {
 		parent := make([]int, b.n)
 		dist := make([]float64, b.n)
@@ -342,11 +474,11 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 			dist[v] = graph.Infinity
 		}
 		for v := 0; v < b.n; v++ {
-			e, ok := est[v][r]
-			if !ok {
+			e := g.get(v, r)
+			if e == nil {
 				continue
 			}
-			if v != r && !e.force && e.dist >= hostCap(v) {
+			if v != r && !e.force && e.dist >= g.hostCap(v) {
 				continue
 			}
 			dist[v] = e.dist
@@ -358,10 +490,10 @@ func (b *builder) growApproxClusters(level int, roots []int) error {
 		if err != nil {
 			if debugClusters {
 				for v := 0; v < b.n; v++ {
-					if e, ok := est[v][r]; ok {
+					if e := g.get(v, r); e != nil {
 						fmt.Printf("DBG root=%d v=%d dist=%v parent=%d via=%v force=%v hostCap=%v virt=%v member=%v\n",
-							r, v, e.dist, e.parent, e.via, e.force, hostCap(v), b.vg.IsMember(v),
-							v == r || e.force || e.dist < hostCap(v))
+							r, v, e.dist, e.parent, e.via, e.force, g.hostCap(v), b.vg.IsMember(v),
+							v == r || e.force || e.dist < g.hostCap(v))
 					}
 				}
 			}

@@ -182,6 +182,10 @@ type builder struct {
 	dists   map[int][]float64
 	maxBeta int
 
+	// cg is the reusable approximate-cluster-growth workspace (created on
+	// first use, recycled across levels).
+	cg *clusterGrowth
+
 	phaseRounds map[string]int64
 }
 

@@ -2,7 +2,7 @@ package hopset
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
@@ -16,6 +16,10 @@ type BFOptions struct {
 	// Limit restricts the host-graph part of each iteration (used by the
 	// approximate-cluster machinery; may be nil).
 	Limit LimitFunc
+	// Scratch, when non-nil, supplies a reusable workspace: the returned
+	// BFResult then aliases the scratch and is valid until its next use.
+	// Nil allocates a private workspace, so the result is caller-owned.
+	Scratch *BFScratch
 }
 
 // BFResult is the outcome of BellmanFord: per-host-vertex distance
@@ -28,27 +32,126 @@ type BFResult struct {
 	Iterations int
 }
 
-// bEst is the H-step broadcast payload: a virtual vertex's estimate plus its
-// stored hopset out-edges.
-type bEst struct {
-	u   int
-	d   float64
-	out []Edge
-}
-
-// hopRelax is one pending hopset relaxation, held from the broadcast handler
-// to the end-of-iteration commit.
-type hopRelax struct {
-	d    float64
-	viaU int
-	viaW int // head of the hopset edge used (for path recovery)
-}
-
+// Wire format of the H-step broadcast: a virtual vertex's estimate inline
+// (u, d) plus its stored hopset out-edges as (To, Weight, Level) triples in
+// the variable-length tail.
 const (
-	bEstHeadWords = 2 // bEst.u and bEst.d
+	kindBEst congest.PayloadKind = 2
+
+	bEstHeadWords = 2 // u and d
 	edgeWords     = 3 // Edge: To, Weight, Level
 	hopRelaxWords = 3
 )
+
+// BFScratch is a reusable BellmanFord workspace. A steady-state call on a
+// warm scratch allocates nothing: seed lists, broadcast messages, payload
+// tails, the epoch-stamped relaxation table, and the result arrays are all
+// recycled. Not safe for concurrent use.
+type BFScratch struct {
+	ex      *Explorer
+	srcs    []Source
+	msgs    []congest.BroadcastMsg
+	extBufs [][]uint64
+	handler func(v int, m *congest.BroadcastMsg)
+
+	// Pending hopset relaxations, held from the broadcast handler to the
+	// end-of-iteration commit. Epoch stamps replace per-iteration maps.
+	relaxEpoch int64
+	relaxStamp []int64
+	relaxD     []float64
+	relaxU     []int
+	relaxed    []int
+
+	dist   []float64
+	parent []int
+	origin []int
+	result BFResult
+
+	// Per-call bindings read by the broadcast handler.
+	sim *congest.Simulator
+	vg  *VirtualGraph
+	hs  *Hopset
+}
+
+// NewBFScratch creates an empty BellmanFord workspace; it binds itself to a
+// simulator lazily on first use.
+func NewBFScratch() *BFScratch {
+	sc := &BFScratch{}
+	sc.handler = sc.onBEst
+	return sc
+}
+
+func (sc *BFScratch) ensure(sim *congest.Simulator) {
+	if sc.ex == nil || sc.ex.sim != sim {
+		sc.ex = NewExplorer(sim)
+	}
+	n := sim.N()
+	if len(sc.dist) != n {
+		sc.dist = make([]float64, n)
+		sc.parent = make([]int, n)
+		sc.origin = make([]int, n)
+		sc.relaxStamp = make([]int64, n)
+		sc.relaxD = make([]float64, n)
+		sc.relaxU = make([]int, n)
+		sc.relaxEpoch = 0
+	}
+}
+
+// extBuf returns the reusable tail buffer for broadcast message index i.
+// Broadcast payload tails stay caller-owned (the analytic primitives never
+// touch the arena), so pooling per message index is safe.
+func (sc *BFScratch) extBuf(i, n int) []uint64 {
+	for len(sc.extBufs) <= i {
+		sc.extBufs = append(sc.extBufs, nil)
+	}
+	if cap(sc.extBufs[i]) < n {
+		sc.extBufs[i] = make([]uint64, n)
+	}
+	return sc.extBufs[i][:n]
+}
+
+// onBEst handles one H-step broadcast delivery at virtual vertex v.
+func (sc *BFScratch) onBEst(v int, m *congest.BroadcastMsg) {
+	p := &m.Payload
+	if p.Kind != kindBEst {
+		return
+	}
+	d := congest.WordFloat(p.W1)
+	if !sc.vg.IsMember(v) || d == graph.Infinity {
+		return
+	}
+	u := congest.WordInt(p.W0)
+	// Forward direction: an out-edge (u -> w) relaxes w = v.
+	ext := p.Ext
+	for j := 0; j+edgeWords <= len(ext); j += edgeWords {
+		if congest.WordInt(ext[j]) == v {
+			sc.relax(v, d+congest.WordFloat(ext[j+1]), u)
+		}
+	}
+	// Reverse direction: v's own out-edge (v -> u) relaxes v.
+	for _, e := range sc.hs.Out(v) {
+		if e.To == u {
+			sc.relax(v, d+e.Weight, u)
+		}
+	}
+}
+
+// relax records a candidate hopset relaxation at v. The pending slot is
+// per-vertex state held until the commit: charge on first touch per
+// iteration, released at commit.
+func (sc *BFScratch) relax(v int, alt float64, viaU int) {
+	stamped := sc.relaxStamp[v] == sc.relaxEpoch
+	if alt >= sc.result.Dist[v] || (stamped && alt >= sc.relaxD[v]) {
+		return
+	}
+	if !stamped {
+		sc.sim.Mem(v).Charge(hopRelaxWords)
+		sc.relaxStamp[v] = sc.relaxEpoch
+		sc.relaxed = append(sc.relaxed, v)
+	}
+	sc.relaxD[v] = alt
+	sc.relaxU[v] = viaU
+}
 
 // BellmanFord runs iterations of Bellman-Ford in G' ∪ H from a set-source
 // (Lemma 2): each iteration performs one B-bounded exploration in the host
@@ -58,12 +161,20 @@ const (
 // work and memory). Estimates never drop below true host distances; with a
 // valid (β,ε)-hopset they reach (1+ε)-accuracy within β iterations.
 func BellmanFord(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []Source, opts BFOptions) (*BFResult, error) {
-	n := sim.N()
-	res := &BFResult{
-		Dist:   make([]float64, n),
-		Parent: make([]int, n),
-		Origin: make([]int, n),
+	sc := opts.Scratch
+	if sc == nil {
+		sc = NewBFScratch()
 	}
+	return sc.run(sim, vg, hs, seeds, opts)
+}
+
+func (sc *BFScratch) run(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []Source, opts BFOptions) (*BFResult, error) {
+	n := sim.N()
+	sc.ensure(sim)
+	sc.sim, sc.vg, sc.hs = sim, vg, hs
+	res := &sc.result
+	res.Dist, res.Parent, res.Origin = sc.dist, sc.parent, sc.origin
+	res.Iterations = 0
 	for i := range res.Dist {
 		res.Dist[i] = graph.Infinity
 		res.Parent[i] = graph.NoVertex
@@ -99,13 +210,13 @@ func BellmanFord(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []S
 		// E' step: one B-bounded exploration from every vertex holding a
 		// finite estimate (this simultaneously delivers estimates to all
 		// host vertices, virtual or not).
-		var srcs []Source
+		sc.srcs = sc.srcs[:0]
 		for v := 0; v < n; v++ {
 			if res.Dist[v] != graph.Infinity {
-				srcs = append(srcs, Source{Root: bfRoot, At: v, Dist: res.Dist[v]})
+				sc.srcs = append(sc.srcs, Source{Root: bfRoot, At: v, Dist: res.Dist[v]})
 			}
 		}
-		ex, err := Explore(sim, srcs, ExploreOptions{Hops: vg.B(), Limit: opts.Limit})
+		ex, err := sc.ex.Explore(sc.srcs, ExploreOptions{Hops: vg.B(), Limit: opts.Limit})
 		if err != nil {
 			return nil, fmt.Errorf("hopset: BF iteration %d: %w", iter, err)
 		}
@@ -124,68 +235,48 @@ func BellmanFord(sim *congest.Simulator, vg *VirtualGraph, hs *Hopset, seeds []S
 
 		// H step: every virtual vertex broadcasts its estimate and its
 		// stored out-edges; both endpoints of each edge relax.
-		var msgs []congest.BroadcastMsg
+		sc.msgs = sc.msgs[:0]
 		for _, u := range vg.Members() {
-			if res.Dist[u] == graph.Infinity && len(hs.Out(u)) == 0 {
+			out := hs.Out(u)
+			if res.Dist[u] == graph.Infinity && len(out) == 0 {
 				continue
 			}
-			msgs = append(msgs, congest.BroadcastMsg{
-				Origin:  u,
-				Payload: bEst{u: u, d: res.Dist[u], out: hs.Out(u)},
-				Words:   bEstHeadWords + edgeWords*len(hs.Out(u)),
+			ext := sc.extBuf(len(sc.msgs), edgeWords*len(out))
+			for j, e := range out {
+				ext[edgeWords*j] = congest.IntWord(e.To)
+				ext[edgeWords*j+1] = congest.FloatWord(e.Weight)
+				ext[edgeWords*j+2] = congest.IntWord(e.Level)
+			}
+			sc.msgs = append(sc.msgs, congest.BroadcastMsg{
+				Origin: u,
+				Payload: congest.Payload{
+					Kind: kindBEst,
+					W0:   congest.IntWord(u),
+					W1:   congest.FloatWord(res.Dist[u]),
+					Ext:  ext,
+				},
+				Words: bEstHeadWords + edgeWords*len(out),
 			})
 		}
-		// Pending relaxations are per-vertex state held until the commit
-		// below: charge each vertex for its slot and release on commit.
-		hopsetRelax := make(map[int]hopRelax)
-		relax := func(v int, alt float64, viaU, viaW int) {
-			cur, ok := hopsetRelax[v]
-			if alt >= res.Dist[v] || (ok && alt >= cur.d) {
-				return
-			}
-			if !ok {
-				sim.Mem(v).Charge(hopRelaxWords)
-			}
-			hopsetRelax[v] = hopRelax{d: alt, viaU: viaU, viaW: viaW}
-		}
-		sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
-			p := m.Payload.(bEst)
-			if !vg.IsMember(v) || p.d == graph.Infinity {
-				return
-			}
-			// Forward direction: an out-edge (p.u -> w) relaxes w = v.
-			for _, e := range p.out {
-				if e.To == v {
-					relax(v, p.d+e.Weight, p.u, v)
-				}
-			}
-			// Reverse direction: v's own out-edge (v -> p.u) relaxes v.
-			for _, e := range hs.Out(v) {
-				if e.To == p.u {
-					relax(v, p.d+e.Weight, p.u, p.u)
-				}
-			}
-		})
-		// Commit in sorted vertex order: res.Origin[rel.viaU] below may read
-		// an entry this same loop writes, so map order must not decide which
-		// value it sees.
-		relaxed := make([]int, 0, len(hopsetRelax))
-		for v := range hopsetRelax {
-			relaxed = append(relaxed, v)
-		}
-		sort.Ints(relaxed)
-		for _, v := range relaxed {
-			rel := hopsetRelax[v]
+		sc.relaxEpoch++
+		sc.relaxed = sc.relaxed[:0]
+		sim.Broadcast(sc.msgs, sc.handler)
+		// Commit in sorted vertex order: res.Origin[viaU] below may read an
+		// entry this same loop writes, so arrival order must not decide
+		// which value it sees.
+		slices.Sort(sc.relaxed)
+		for _, v := range sc.relaxed {
 			sim.Mem(v).Release(hopRelaxWords)
-			if rel.d < res.Dist[v] {
-				res.Dist[v] = rel.d
-				res.Origin[v] = res.Origin[rel.viaU]
+			if sc.relaxD[v] < res.Dist[v] {
+				viaU := sc.relaxU[v]
+				res.Dist[v] = sc.relaxD[v]
+				res.Origin[v] = res.Origin[viaU]
 				// The realising walk enters v over a hopset edge; the host
 				// parent is v's neighbor on that edge's recovery path. Look
 				// it up from whichever orientation stores the edge.
-				if path, ok := hs.Path(v, rel.viaU); ok && len(path) > 1 {
+				if path, ok := hs.Path(v, viaU); ok && len(path) > 1 {
 					res.Parent[v] = path[1]
-				} else if path, ok := hs.Path(rel.viaU, v); ok && len(path) > 1 {
+				} else if path, ok := hs.Path(viaU, v); ok && len(path) > 1 {
 					res.Parent[v] = path[len(path)-2]
 				}
 				changed = true

@@ -2,6 +2,7 @@ package hopset
 
 import (
 	"fmt"
+	"sort"
 
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
@@ -40,21 +41,42 @@ type ExploreOptions struct {
 	MaxRounds int
 }
 
-// ExploreResult maps, at every host vertex, each exploration root to its
-// best entry.
-type ExploreResult struct {
-	Entries []map[int]Entry
+// RootEntry is one exploration's record at a host vertex, tagged with the
+// root that owns it. Beyond the Entry it tracks the farthest remaining hop
+// budget seen, so that explorations merge a Pareto frontier of (distance,
+// reach). Forwarding happens whenever either coordinate improves; the merged
+// estimate can therefore slightly overreach the strict B-bound (it still
+// describes a genuine walk in G, so all safety properties that rely on
+// estimates being at least d_G hold; see the package comment in DESIGN.md).
+type RootEntry struct {
+	Root int
+	Entry
+	ttl int
 }
+
+// ExploreResult holds, at every host vertex, each exploration root's best
+// entry, sorted by root ascending. The result aliases its Explorer's
+// workspace: it is valid until the next Explore call on the same Explorer.
+type ExploreResult struct {
+	entries [][]RootEntry
+}
+
+// At returns v's entries, sorted by Root ascending. Read-only.
+func (r *ExploreResult) At(v int) []RootEntry { return r.entries[v] }
 
 // Get returns root's entry at v.
 func (r *ExploreResult) Get(v, root int) (Entry, bool) {
-	e, ok := r.Entries[v][root]
-	return e, ok
+	es := r.entries[v]
+	i := lowerRoot(es, root)
+	if i < len(es) && es[i].Root == root {
+		return es[i].Entry, true
+	}
+	return Entry{}, false
 }
 
 // Dist returns root's distance estimate at v (Infinity if absent).
 func (r *ExploreResult) Dist(v, root int) float64 {
-	if e, ok := r.Entries[v][root]; ok {
+	if e, ok := r.Get(v, root); ok {
 		return e.Dist
 	}
 	return graph.Infinity
@@ -63,38 +85,64 @@ func (r *ExploreResult) Dist(v, root int) float64 {
 // PathToSeed walks parent pointers from v back to the seed of root's
 // exploration. Returns nil if v has no entry.
 func (r *ExploreResult) PathToSeed(v, root int) []int {
-	if _, ok := r.Entries[v][root]; !ok {
+	if _, ok := r.Get(v, root); !ok {
 		return nil
 	}
 	var path []int
 	for x := v; x != graph.NoVertex; {
 		path = append(path, x)
-		e := r.Entries[x][root]
+		e, _ := r.Get(x, root)
 		x = e.Parent
 	}
 	return path
 }
 
-// exploreMsg is the wire format: 5 words (tag, root, origin, dist, ttl).
-type exploreMsg struct {
-	root   int
-	origin int
-	dist   float64
-	ttl    int
+// lowerRoot returns the first index in es whose Root is >= root.
+func lowerRoot(es []RootEntry, root int) int {
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if es[mid].Root < root {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
-const exploreMsgWords = 5
+// Wire format of an exploration step: 5 words (tag, root, origin, dist,
+// ttl), all inline - the hottest message of the whole construction never
+// touches the payload arena.
+const (
+	kindExplore congest.PayloadKind = 1
 
-// exploreState is the per-(vertex, root) working record: beyond the Entry it
-// tracks the farthest remaining hop budget seen, so that explorations merge
-// a Pareto frontier of (distance, reach). Forwarding happens whenever either
-// coordinate improves; the merged estimate can therefore slightly overreach
-// the strict B-bound (it still describes a genuine walk in G, so all
-// safety properties that rely on estimates being at least d_G hold; see the
-// package comment in DESIGN.md).
-type exploreState struct {
-	Entry
-	ttl int
+	exploreMsgWords = 5
+)
+
+// Explorer is a reusable exploration workspace bound to one simulator. The
+// per-(vertex, root) state lives in root-sorted slices recycled across
+// calls, so a steady-state Explore allocates nothing. Not safe for
+// concurrent use; create one per goroutine.
+type Explorer struct {
+	sim    *congest.Simulator
+	state  [][]RootEntry
+	seeds  []Source
+	initial []int
+	res    ExploreResult
+	stepFn congest.StepFunc
+
+	// Per-call parameters read by the bound step function.
+	hops  int
+	limit LimitFunc
+}
+
+// NewExplorer creates an exploration workspace over sim.
+func NewExplorer(sim *congest.Simulator) *Explorer {
+	e := &Explorer{sim: sim, state: make([][]RootEntry, sim.N())}
+	e.res.entries = e.state
+	e.stepFn = e.step
+	return e
 }
 
 // Explore runs a multi-root, hop-bounded, limit-respecting Bellman-Ford
@@ -104,8 +152,11 @@ type exploreState struct {
 // containing the vertex" working memory of the paper. The charge is
 // released when Explore returns (the peak remains recorded); callers that
 // retain entries beyond the exploration charge them separately.
-func Explore(sim *congest.Simulator, sources []Source, opts ExploreOptions) (*ExploreResult, error) {
-	n := sim.N()
+//
+// The returned result aliases the Explorer's workspace and is valid until
+// the next Explore call on this Explorer.
+func (e *Explorer) Explore(sources []Source, opts ExploreOptions) (*ExploreResult, error) {
+	n := e.sim.N()
 	if opts.Hops < 1 {
 		return nil, fmt.Errorf("hopset: explore hop budget %d < 1", opts.Hops)
 	}
@@ -113,98 +164,145 @@ func Explore(sim *congest.Simulator, sources []Source, opts ExploreOptions) (*Ex
 	if maxRounds <= 0 {
 		maxRounds = 10*opts.Hops + 4*n + 4096
 	}
-	state := make([]map[int]*exploreState, n)
-	for v := range state {
-		state[v] = make(map[int]*exploreState)
+
+	// Reset the previous call's state (its result is hereby invalidated).
+	for v := range e.state {
+		e.state[v] = e.state[v][:0]
 	}
 
-	var initial []int
-	seedsAt := make(map[int][]Source)
+	// Stable-sort the seeds by host vertex so step's round-0 seeding is a
+	// binary search. Callers build seed lists in ascending-At order, so the
+	// common case is a no-op sortedness check.
+	e.seeds = e.seeds[:0]
 	for _, s := range sources {
 		if s.At < 0 || s.At >= n {
 			return nil, fmt.Errorf("hopset: seed at %d out of range", s.At)
 		}
-		if len(seedsAt[s.At]) == 0 {
-			initial = append(initial, s.At)
-		}
-		seedsAt[s.At] = append(seedsAt[s.At], s)
+		e.seeds = append(e.seeds, s)
 	}
-
-	forward := func(v, root int, st *exploreState, ctx *congest.Ctx) {
-		if st.ttl <= 0 {
-			return
+	sorted := true
+	for i := 1; i < len(e.seeds); i++ {
+		if e.seeds[i].At < e.seeds[i-1].At {
+			sorted = false
+			break
 		}
-		if opts.Limit != nil && !opts.Limit(v, root, st.Dist) {
-			return
-		}
-		for _, nb := range sim.Graph().Neighbors(v) {
-			ctx.Send(nb.To, exploreMsg{
-				root:   root,
-				origin: st.Origin,
-				dist:   st.Dist + nb.Weight,
-				ttl:    st.ttl - 1,
-			}, exploreMsgWords)
+	}
+	if !sorted {
+		seeds := e.seeds
+		sort.SliceStable(seeds, func(i, j int) bool { return seeds[i].At < seeds[j].At })
+	}
+	e.initial = e.initial[:0]
+	for i, s := range e.seeds {
+		if i == 0 || s.At != e.seeds[i-1].At {
+			e.initial = append(e.initial, s.At)
 		}
 	}
 
-	adopt := func(v, root int, e Entry, ttl int, ctx *congest.Ctx, isSeed bool) {
-		cur, ok := state[v][root]
-		if !ok {
-			// A vertex only stores an estimate it would act on: seeds and
-			// estimates passing the forwarding limit. Failing messages are
-			// processed streaming and dropped (they cost no memory).
-			if !isSeed && opts.Limit != nil && !opts.Limit(v, root, e.Dist) {
-				return
-			}
-			state[v][root] = &exploreState{Entry: e, ttl: ttl}
-			ctx.Mem().Charge(3)
-			forward(v, root, state[v][root], ctx)
-			return
-		}
-		distBetter := e.Dist < cur.Dist
-		ttlBetter := ttl > cur.ttl
-		if !distBetter && !ttlBetter {
-			return
-		}
-		if distBetter {
-			cur.Entry = e
-		}
-		if ttlBetter {
-			cur.ttl = ttl
-		}
-		forward(v, root, cur, ctx)
-	}
-
-	rounds := sim.Run(initial, maxRounds, func(v int, ctx *congest.Ctx) {
-		if ctx.Round() == 0 {
-			for _, s := range seedsAt[v] {
-				adopt(v, s.Root, Entry{Dist: s.Dist, Parent: graph.NoVertex, Origin: s.At}, opts.Hops, ctx, true)
-			}
-		}
-		for _, m := range ctx.In() {
-			em, ok := m.Payload.(exploreMsg)
-			if !ok {
-				continue
-			}
-			adopt(v, em.root, Entry{Dist: em.dist, Parent: m.From, Origin: em.origin}, em.ttl, ctx, false)
-		}
-	})
+	e.hops, e.limit = opts.Hops, opts.Limit
+	rounds := e.sim.Run(e.initial, maxRounds, e.stepFn)
+	e.limit = nil
 	if rounds >= maxRounds {
 		return nil, fmt.Errorf("hopset: exploration did not converge within %d rounds", maxRounds)
 	}
+	for v := range e.state {
+		if k := len(e.state[v]); k > 0 {
+			e.sim.Mem(v).Release(3 * int64(k))
+		}
+	}
+	return &e.res, nil
+}
 
-	res := &ExploreResult{Entries: make([]map[int]Entry, n)}
-	for v := range state {
-		if len(state[v]) == 0 {
+// step is the per-vertex program; bound once in NewExplorer so Run calls
+// allocate no method-value closures.
+func (e *Explorer) step(v int, ctx *congest.Ctx) {
+	if ctx.Round() == 0 {
+		for i := seedLo(e.seeds, v); i < len(e.seeds) && e.seeds[i].At == v; i++ {
+			s := e.seeds[i]
+			e.adopt(v, s.Root, Entry{Dist: s.Dist, Parent: graph.NoVertex, Origin: s.At}, e.hops, ctx, true)
+		}
+	}
+	in := ctx.In()
+	for i := range in {
+		m := &in[i]
+		p := &m.Payload
+		if p.Kind != kindExplore {
 			continue
 		}
-		res.Entries[v] = make(map[int]Entry, len(state[v]))
-		for root, st := range state[v] {
-			res.Entries[v][root] = st.Entry
-		}
-		sim.Mem(v).Release(3 * int64(len(state[v])))
+		e.adopt(v, congest.WordInt(p.W0),
+			Entry{Dist: congest.WordFloat(p.W2), Parent: m.From, Origin: congest.WordInt(p.W1)},
+			congest.WordInt(p.W3), ctx, false)
 	}
-	return res, nil
+}
+
+// seedLo returns the first index in seeds (sorted by At) whose At is >= v.
+func seedLo(seeds []Source, v int) int {
+	lo, hi := 0, len(seeds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seeds[mid].At < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (e *Explorer) forward(v int, st *RootEntry, ctx *congest.Ctx) {
+	if st.ttl <= 0 {
+		return
+	}
+	if e.limit != nil && !e.limit(v, st.Root, st.Dist) {
+		return
+	}
+	for _, nb := range e.sim.Graph().Neighbors(v) {
+		ctx.Send(nb.To, congest.Payload{
+			Kind: kindExplore,
+			W0:   congest.IntWord(st.Root),
+			W1:   congest.IntWord(st.Origin),
+			W2:   congest.FloatWord(st.Dist + nb.Weight),
+			W3:   congest.IntWord(st.ttl - 1),
+		}, exploreMsgWords)
+	}
+}
+
+func (e *Explorer) adopt(v, root int, en Entry, ttl int, ctx *congest.Ctx, isSeed bool) {
+	es := e.state[v]
+	i := lowerRoot(es, root)
+	if i >= len(es) || es[i].Root != root {
+		// A vertex only stores an estimate it would act on: seeds and
+		// estimates passing the forwarding limit. Failing messages are
+		// processed streaming and dropped (they cost no memory).
+		if !isSeed && e.limit != nil && !e.limit(v, root, en.Dist) {
+			return
+		}
+		es = append(es, RootEntry{})
+		copy(es[i+1:], es[i:])
+		es[i] = RootEntry{Root: root, Entry: en, ttl: ttl}
+		e.state[v] = es
+		ctx.Mem().Charge(3)
+		e.forward(v, &e.state[v][i], ctx)
+		return
+	}
+	cur := &es[i]
+	distBetter := en.Dist < cur.Dist
+	ttlBetter := ttl > cur.ttl
+	if !distBetter && !ttlBetter {
+		return
+	}
+	if distBetter {
+		cur.Entry = en
+	}
+	if ttlBetter {
+		cur.ttl = ttl
+	}
+	e.forward(v, cur, ctx)
+}
+
+// Explore is the one-shot convenience wrapper: a fresh workspace per call,
+// so the result stays valid indefinitely. Loops should hold an Explorer.
+func Explore(sim *congest.Simulator, sources []Source, opts ExploreOptions) (*ExploreResult, error) {
+	return NewExplorer(sim).Explore(sources, opts)
 }
 
 // DistToSet is a convenience wrapper: a single set-source exploration from
@@ -232,7 +330,7 @@ func DistToSet(sim *congest.Simulator, seeds []int, hops int) (dist []float64, p
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	for v := range res.Entries {
+	for v := 0; v < n; v++ {
 		if e, ok := res.Get(v, setRoot); ok {
 			dist[v] = e.Dist
 			parent[v] = e.Parent

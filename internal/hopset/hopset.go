@@ -122,28 +122,23 @@ func Build(sim *congest.Simulator, vg *VirtualGraph, opts Options) (*Hopset, err
 		}
 		// Cluster entries (dist + parent per center) back the
 		// path-recovery mechanism and are retained.
-		for v := range res.Entries {
-			sim.Mem(v).Charge(3 * int64(len(res.Entries[v])))
+		for v := 0; v < sim.N(); v++ {
+			sim.Mem(v).Charge(3 * int64(len(res.At(v))))
 		}
 
-		// Bunch edges: u -> w for every center w whose cluster reached u,
-		// added in sorted center order so hs.out slices (and therefore the
-		// BF broadcast payloads built from them) never depend on map order.
+		// Bunch edges: u -> w for every center w whose cluster reached u.
+		// At(u) is root-ascending, so hs.out slices (and therefore the BF
+		// broadcast payloads built from them) have a canonical order.
 		for _, u := range vg.Members() {
-			centers := make([]int, 0, len(res.Entries[u]))
-			for w := range res.Entries[u] {
-				centers = append(centers, w)
-			}
-			sort.Ints(centers)
-			for _, w := range centers {
-				e := res.Entries[u][w]
+			for _, re := range res.At(u) {
+				w := re.Root
 				if w == u || !inLevel[w] {
 					continue
 				}
-				if e.Dist >= pivotDist[u] {
+				if re.Dist >= pivotDist[u] {
 					continue // not strictly inside the bunch
 				}
-				hs.addEdge(sim, u, w, e.Dist, i, res.PathToSeed(u, w))
+				hs.addEdge(sim, u, w, re.Dist, i, res.PathToSeed(u, w))
 			}
 			// Pivot edge: u -> nearest next-level center.
 			if z := pivotOrigin[u]; z != graph.NoVertex && z != u {

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// analyzerAnyPayload builds the LM005 analyzer: the wire carries typed words
+// (congest.Payload: a kind tag, four inline words, and a []uint64 tail), so
+// no message-shaped struct may smuggle a Go interface back onto it. An
+// interface-typed payload field is shared memory wearing a message costume —
+// its word count is unverifiable and it reintroduces the per-send boxing
+// allocation the typed layer removed.
+//
+// A struct field is flagged when it has interface underlying type and either
+// the field is named Payload or the struct's name ends in Msg, Message, or
+// Payload. Only simulator-scoped packages are checked.
+func analyzerAnyPayload() *Analyzer {
+	return &Analyzer{
+		Name: "anypayload",
+		Code: "LM005",
+		Doc:  "message structs must carry typed words, not interface payloads",
+		Run:  runAnyPayload,
+	}
+}
+
+func runAnyPayload(p *Pass) {
+	if !simulatorScoped(p.Pkg) {
+		return
+	}
+	info := p.Pkg.Info
+
+	msgNamed := func(name string) bool {
+		return strings.HasSuffix(name, "Msg") ||
+			strings.HasSuffix(name, "Message") ||
+			strings.HasSuffix(name, "Payload")
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			structIsMsg := msgNamed(ts.Name.Name)
+			for _, fld := range st.Fields.List {
+				tv, ok := info.Types[fld.Type]
+				if !ok {
+					continue
+				}
+				if _, isIface := tv.Type.Underlying().(*types.Interface); !isIface {
+					continue
+				}
+				if len(fld.Names) == 0 {
+					if structIsMsg {
+						p.Reportf(fld.Type.Pos(), "interface-typed payload embedded in message struct %s; wire payloads must be typed words (congest.Payload), not Go interfaces", ts.Name.Name)
+					}
+					continue
+				}
+				for _, name := range fld.Names {
+					if structIsMsg || strings.EqualFold(name.Name, "payload") {
+						p.Reportf(name.Pos(), "interface-typed payload field %s.%s; wire payloads must be typed words (congest.Payload), not Go interfaces", ts.Name.Name, name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}

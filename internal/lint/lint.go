@@ -1,9 +1,10 @@
 // Package lint implements lowmemlint, a stdlib-only static analyzer suite
 // that enforces the repository's model-level resource invariants at build
 // time: CONGEST vertex isolation (LM001), meter accounting of per-vertex
-// allocations (LM002), schedule determinism (LM003), and honest wire-size
-// accounting of message payloads (LM004). See DESIGN.md §8 for the mapping
-// from each analyzer to the paper invariant it guards.
+// allocations (LM002), schedule determinism (LM003), honest wire-size
+// accounting of message payloads (LM004), and a ban on interface-typed
+// payloads on the wire (LM005). See DESIGN.md §8 for the mapping from each
+// analyzer to the paper invariant it guards.
 //
 // Findings can be waived in place with comment directives:
 //
@@ -51,6 +52,7 @@ func Analyzers() []*Analyzer {
 		analyzerMeterAccount(),
 		analyzerDeterminism(),
 		analyzerWireSize(),
+		analyzerAnyPayload(),
 	}
 }
 

@@ -142,6 +142,10 @@ func TestWireSizeFixture(t *testing.T) {
 	runFixture(t, "wiresize", []string{"wiresize"})
 }
 
+func TestAnyPayloadFixture(t *testing.T) {
+	runFixture(t, "anypayload", []string{"anypayload"})
+}
+
 // TestDirectiveDiagnostics pins the LM000 catalogue: a malformed directive
 // occupies its whole source line, so the expectations are explicit here
 // instead of // want comments.
@@ -175,15 +179,15 @@ func TestDirectiveDiagnostics(t *testing.T) {
 
 func TestSelect(t *testing.T) {
 	all, err := Select(nil, nil)
-	if err != nil || len(all) != 4 {
-		t.Fatalf("Select(nil, nil) = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Select(nil, nil) = %d analyzers, err %v; want 5, nil", len(all), err)
 	}
 	only, err := Select([]string{"determinism"}, nil)
 	if err != nil || len(only) != 1 || only[0].Code != "LM003" {
 		t.Fatalf("Select(determinism) = %+v, %v", only, err)
 	}
 	rest, err := Select(nil, []string{"wiresize", "meteraccount"})
-	if err != nil || len(rest) != 2 {
+	if err != nil || len(rest) != 3 {
 		t.Fatalf("Select(disable two) = %d analyzers, err %v", len(rest), err)
 	}
 	for _, a := range rest {

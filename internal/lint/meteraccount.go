@@ -12,6 +12,11 @@ import (
 // Unmetered allocation in a handler is exactly how the paper's per-vertex
 // memory bounds (Theorems 2 and 3) silently rot: the Go heap grows, the
 // meter doesn't.
+//
+// One carve-out: appends whose destination derives from Ctx.Ext are exempt.
+// Ctx.Ext hands out the engine-owned payload-tail scratch buffer — Send
+// copies out of it into the simulator's arena, which is accounted as message
+// words, not vertex memory, so charging a meter for it would double-count.
 func analyzerMeterAccount() *Analyzer {
 	return &Analyzer{
 		Name: "meteraccount",
@@ -29,7 +34,74 @@ func runMeterAccount(p *Pass) {
 	}
 	info := p.Pkg.Info
 
+	// isExtCall reports whether e is (or unwraps to) a Ctx.Ext call.
+	isExtCall := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal &&
+					isCongestNamed(s.Recv(), "Ctx") && sel.Sel.Name == "Ext" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
 	for _, h := range vertexHandlers(p.Pkg) {
+		// extBufs holds locals whose value derives from Ctx.Ext (directly or
+		// via re-slicing/appending); appends into them are arena-accounted.
+		extBufs := make(map[types.Object]bool)
+		markLHS := func(lhs ast.Expr) {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := info.Defs[id]; obj != nil {
+					extBufs[obj] = true
+				} else if obj := info.Uses[id]; obj != nil {
+					extBufs[obj] = true
+				}
+			}
+		}
+		ast.Inspect(h.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i, rhs := range as.Rhs {
+					if isExtCall(rhs) {
+						markLHS(as.Lhs[i])
+					}
+				}
+			} else if len(as.Rhs) == 1 && isExtCall(as.Rhs[0]) {
+				for _, lhs := range as.Lhs {
+					markLHS(lhs)
+				}
+			}
+			return true
+		})
+		isExtDerived := func(e ast.Expr) bool {
+			for {
+				switch x := e.(type) {
+				case *ast.ParenExpr:
+					e = x.X
+				case *ast.SliceExpr:
+					e = x.X
+				case *ast.Ident:
+					if obj := info.Uses[x]; obj != nil && extBufs[obj] {
+						return true
+					}
+					return false
+				default:
+					return isExtCall(e)
+				}
+			}
+		}
+
 		charged := make(map[ast.Node]bool) // enclosing funcs known to charge
 		hasCharge := func(fn ast.Node) bool {
 			if v, ok := charged[fn]; ok {
@@ -72,6 +144,9 @@ func runMeterAccount(p *Pass) {
 								report(n, "make allocates")
 							}
 						case "append":
+							if len(n.Args) > 0 && isExtDerived(n.Args[0]) {
+								break // Ctx.Ext scratch: arena-accounted
+							}
 							report(n, "append allocates")
 						}
 					}

@@ -1,0 +1,36 @@
+//lint:simulator
+package anypayload
+
+// Message-shaped structs must not carry interface payloads on the wire.
+
+type relayMsg struct {
+	from    int
+	payload any // want `interface-typed payload field relayMsg.payload`
+}
+
+type hopMessage struct {
+	Body interface{} // want `interface-typed payload field hopMessage.Body`
+}
+
+type legacyPayload struct {
+	error // want `interface-typed payload embedded in message struct legacyPayload`
+	code  int
+}
+
+type event struct {
+	Payload any // want `interface-typed payload field event.Payload`
+	tag     int
+}
+
+// Typed words are fine, whatever the struct is called.
+type okMsg struct {
+	from  int
+	words []uint64
+}
+
+// Interface fields outside message structs (and not named Payload) are out
+// of scope for LM005: they never reach Ctx.Send.
+type scheduler struct {
+	pick func(int) int
+	cmp  interface{ Less(i, j int) bool }
+}

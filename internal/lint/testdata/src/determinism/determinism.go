@@ -13,14 +13,14 @@ const oneWord = 1
 
 func emit(ctx *congest.Ctx, peers map[int]float64) {
 	for w := range peers {
-		ctx.Send(w, nil, oneWord) // want `send schedule depends on map order`
+		ctx.Send(w, congest.Payload{}, oneWord) // want `send schedule depends on map order`
 	}
 }
 
 func emitWaived(ctx *congest.Ctx, peers map[int]float64) {
 	for w := range peers {
 		//lint:waive determinism peers is a singleton in this phase
-		ctx.Send(w, nil, oneWord)
+		ctx.Send(w, congest.Payload{}, oneWord)
 	}
 }
 

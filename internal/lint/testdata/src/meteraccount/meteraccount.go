@@ -29,3 +29,15 @@ func maker(v int, ctx *congest.Ctx) map[int]int {
 	_ = lit
 	return m
 }
+
+const extWords = 2
+
+// Appends into Ctx.Ext scratch are arena-accounted by Send, not vertex
+// memory: exempt from LM002, including through re-slicing.
+func extScratch(v int, ctx *congest.Ctx, s *st) {
+	ext := ctx.Ext(extWords)
+	ext = append(ext[:0], congest.IntWord(v))
+	ext = append(ext, congest.IntWord(v+1))
+	ctx.Send(v, congest.Payload{Kind: 1, Ext: ext}, 1+len(ext))
+	s.buf = append(s.buf, v) // want `append allocates`
+}

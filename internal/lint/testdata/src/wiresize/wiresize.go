@@ -3,33 +3,24 @@ package wiresize
 
 import "lowmemroute/internal/congest"
 
-type ping struct{ from, round int }
-
 const pingWords = 3
 
-type leaky struct {
-	id   int
-	seen map[int]bool
+func pingPayload(v int) congest.Payload {
+	return congest.Payload{Kind: 1, W0: congest.IntWord(v)}
 }
 
-type boxed struct {
-	id  int
-	ptr *int
-}
-
-func send(v int, ctx *congest.Ctx, list []int) {
-	ctx.Send(v, ping{from: v}, 2) // want `bare integer literal 2`
-	ctx.Send(v, ping{from: v}, pingWords)
-	ctx.Send(v, list, 1+len(list))
-	ctx.Send(v, leaky{id: v}, pingWords) // want `field seen of a map`
-	ctx.Send(v, boxed{id: v}, pingWords) // want `field ptr of a pointer`
-	ctx.Send(v, nil, pingWords)
+func send(v int, ctx *congest.Ctx, list []uint64) {
+	ctx.Send(v, pingPayload(v), 2) // want `bare integer literal 2`
+	ctx.Send(v, pingPayload(v), pingWords)
+	ctx.Send(v, congest.Payload{Kind: 1, Ext: list}, 1+len(list))
+	ctx.Send(v, congest.Payload{}, (4)) // want `bare integer literal 4`
+	ctx.Send(v, congest.Payload{}, pingWords)
 }
 
 func bcast(v int) congest.BroadcastMsg {
-	return congest.BroadcastMsg{Origin: v, Payload: ping{}, Words: 4} // want `bare integer literal 4`
+	return congest.BroadcastMsg{Origin: v, Payload: pingPayload(v), Words: 4} // want `bare integer literal 4`
 }
 
 func bcastOK(v int) congest.BroadcastMsg {
-	return congest.BroadcastMsg{Origin: v, Payload: ping{}, Words: pingWords}
+	return congest.BroadcastMsg{Origin: v, Payload: pingPayload(v), Words: pingWords}
 }

@@ -1,7 +1,6 @@
 package lint
 
 import (
-	"fmt"
 	"go/ast"
 	"go/types"
 )
@@ -10,23 +9,20 @@ import (
 // congest engine must stay auditable against the payloads they describe, so
 // that the simulator's O(log n)-bit message accounting (and the byte-level
 // ground truth in internal/wire) cannot drift from what is actually sent.
-// Two checks:
+// The words argument of Ctx.Send and the Words field of congest.BroadcastMsg
+// literals must not be a bare integer literal; use a named constant or a
+// sizing expression declared next to the payload kind (e.g. exploreMsgWords,
+// 3+lightWords(list)) so a payload change forces the count to be revisited.
 //
-//   - the words argument of Ctx.Send and the Words field of
-//     congest.BroadcastMsg literals must not be a bare integer literal; use
-//     a named constant or a sizing expression declared next to the payload
-//     type (e.g. exploreMsgWords, 3+lightWords(list)) so a payload change
-//     forces the count to be revisited;
-//   - payload types must be wire-encodable values — structs, slices, and
-//     arrays of integers, floats, bools, and strings. Maps (unordered),
-//     pointers and interfaces (shared memory, not words on a wire), chans
-//     and funcs are flagged: internal/wire could never encode them, so their
-//     word counts are fiction.
+// Payload *types* need no check anymore: congest.Payload is a fixed struct of
+// words, so unencodable payloads (maps, pointers, interfaces) are now
+// unrepresentable at compile time. LM005 (anypayload) guards against new
+// interface-typed payload fields being introduced upstream of Send.
 func analyzerWireSize() *Analyzer {
 	return &Analyzer{
 		Name: "wiresize",
 		Code: "LM004",
-		Doc:  "engine payloads need named word counts and wire-encodable types",
+		Doc:  "engine word counts must be named after the payload they size",
 		Run:  runWireSize,
 	}
 }
@@ -49,18 +45,6 @@ func runWireSize(p *Pass) {
 			p.Reportf(lit.Pos(), "bare integer literal %s as a message word count; name it after the payload (a const or sizing func) so the count is auditable", lit.Value)
 		}
 	}
-	checkPayload := func(e ast.Expr) {
-		tv, ok := info.Types[e]
-		if !ok {
-			return
-		}
-		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
-			return // statically unknown payload; nothing to check
-		}
-		if bad := unencodable(tv.Type, make(map[types.Type]bool)); bad != "" {
-			p.Reportf(e.Pos(), "message payload type %s contains %s, which internal/wire cannot encode; send value data (sorted slices, ids) instead", tv.Type.String(), bad)
-		}
-	}
 
 	for _, f := range p.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -75,7 +59,6 @@ func runWireSize(p *Pass) {
 					return true
 				}
 				if isCongestNamed(s.Recv(), "Ctx") && sel.Sel.Name == "Send" && len(n.Args) == 3 {
-					checkPayload(n.Args[1])
 					checkWords(n.Args[2])
 				}
 			case *ast.CompositeLit:
@@ -92,55 +75,12 @@ func runWireSize(p *Pass) {
 					if !ok {
 						continue
 					}
-					switch key.Name {
-					case "Words":
+					if key.Name == "Words" {
 						checkWords(kv.Value)
-					case "Payload":
-						checkPayload(kv.Value)
 					}
 				}
 			}
 			return true
 		})
 	}
-}
-
-// unencodable returns a description of the first wire-unencodable component
-// of t, or "" if t is a plain value type.
-func unencodable(t types.Type, seen map[types.Type]bool) string {
-	if seen[t] {
-		return ""
-	}
-	seen[t] = true
-	switch u := t.Underlying().(type) {
-	case *types.Basic:
-		switch {
-		case u.Info()&(types.IsInteger|types.IsFloat|types.IsBoolean|types.IsString) != 0:
-			return ""
-		case u.Kind() == types.UntypedNil:
-			return "" // a nil payload is a pure signal: one tag word
-		default:
-			return fmt.Sprintf("basic type %s", u.String())
-		}
-	case *types.Struct:
-		for i := 0; i < u.NumFields(); i++ {
-			if bad := unencodable(u.Field(i).Type(), seen); bad != "" {
-				return fmt.Sprintf("field %s of %s", u.Field(i).Name(), bad)
-			}
-		}
-		return ""
-	case *types.Slice:
-		return unencodable(u.Elem(), seen)
-	case *types.Array:
-		return unencodable(u.Elem(), seen)
-	case *types.Map:
-		return fmt.Sprintf("a map (%s; unordered, so its wire image is nondeterministic)", t.String())
-	case *types.Pointer:
-		return fmt.Sprintf("a pointer (%s; shared memory is not a message)", t.String())
-	case *types.Interface:
-		return fmt.Sprintf("an interface (%s)", t.String())
-	case *types.Chan, *types.Signature:
-		return t.String()
-	}
-	return ""
 }

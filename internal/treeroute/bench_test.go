@@ -1,0 +1,108 @@
+package treeroute
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+// benchWorkload builds a multi-tree workload: an Erdős–Rényi graph plus
+// three BFS spanning trees, with the simulator pinned to one worker so
+// alloc figures measure the handler layer, not goroutine spawns.
+func benchWorkload(tb testing.TB) (*congest.Simulator, []*graph.Tree) {
+	tb.Helper()
+	r := rand.New(rand.NewSource(7))
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 120, r)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var trees []*graph.Tree
+	for _, root := range []int{0, 10, 20} {
+		tr, err := graph.SpanningTree(g, root, "bfs", r)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	return congest.New(g, congest.WithSeed(7), congest.WithWorkers(1)), trees
+}
+
+// BenchmarkLightPipeline measures the full Section 3 construction pipeline
+// (portal sampling through DFS shifts) over three trees in parallel. The
+// pipeline allocates per-build state by design; the figure tracks the cost
+// of the whole construction, while the steady-state contract is pinned by
+// TestShiftsDownSteadyStateAllocFree below.
+func BenchmarkLightPipeline(b *testing.B) {
+	sim, trees := benchWorkload(b)
+	if _, err := BuildDistributed(sim, trees, DistOptions{Seed: 7}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildDistributed(sim, trees, DistOptions{Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildShiftsFixture replicates BuildDistributed's builder setup, runs every
+// phase once to warm all buffers, and returns the builder ready for a
+// shifts-down flood re-run (the flood is idempotent: it recomputes the same
+// final DFS intervals).
+func buildShiftsFixture(tb testing.TB) *distBuilder {
+	tb.Helper()
+	sim, trees := benchWorkload(tb)
+	n := sim.N()
+	b := &distBuilder{
+		sim:   sim,
+		n:     n,
+		iters: pointerJumpIterations(n),
+		rng:   rand.New(rand.NewSource(7)),
+	}
+	q := 1 / math.Sqrt(float64(len(trees))*float64(n))
+	maxOffset := int(math.Sqrt(float64(len(trees))*float64(n))*math.Log2(float64(n+1))) + 1
+	for j, t := range trees {
+		b.ts = append(b.ts, newTreeState(j, t, q, maxOffset, b.rng))
+	}
+	b.cap = 16*n*(b.iters+2) + 64*b.iters + 4096
+	for _, phase := range []func() error{
+		b.phaseLocalRoots, b.phaseLocalSizes,
+		func() error { b.phaseGlobalSizes(); return nil },
+		b.phaseSizesDown, b.phaseLocalLight,
+		func() error { b.phaseGlobalLight(); return nil },
+		b.phaseLightDown, b.phaseLocalDFS,
+		func() error { b.phaseGlobalShifts(); return nil },
+		b.phaseShiftsDown,
+	} {
+		if err := phase(); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return b
+}
+
+// TestShiftsDownSteadyStateAllocFree pins that a warm shifts-down flood -
+// the representative per-vertex handler regime of the tree-routing pipeline
+// - allocates nothing: typed payloads ride the wire inline, inboxes and
+// edge queues recycle, and the step function is a bound method, not a
+// per-phase closure.
+func TestShiftsDownSteadyStateAllocFree(t *testing.T) {
+	b := buildShiftsFixture(t)
+	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
+	var fn congest.StepFunc = b.stepShiftsDown
+	run := func() {
+		if b.sim.Run(initial, b.cap, fn) >= b.cap {
+			t.Fatal("shifts-down flood did not converge")
+		}
+	}
+	for i := 0; i < 2; i++ {
+		run()
+	}
+	if allocs := testing.AllocsPerRun(10, run); allocs != 0 {
+		t.Fatalf("steady-state shifts-down flood allocates %v/op, want 0", allocs)
+	}
+}

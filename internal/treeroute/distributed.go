@@ -172,11 +172,13 @@ type treeState struct {
 	finalOut []int
 
 	// Per-iteration scratch for the pointer-jumping stages (commit targets
-	// so broadcast handling stays synchronous).
+	// so broadcast handling stays synchronous). tmpW aliases the received
+	// broadcast tail (caller-owned words, valid until the next iteration's
+	// encode); the commit loop decodes it.
 	tmpA   []int
 	tmpS   []int
 	tmpQ   []int
-	tmpL   [][]LightEdge
+	tmpW   [][]uint64
 	tmpGot []bool
 }
 
@@ -283,6 +285,23 @@ type distBuilder struct {
 	rng   *rand.Rand
 	tr    *trace.Recorder
 	ts    []*treeState
+
+	// Reusable broadcast buffers for the pointer-jumping stages: the
+	// message slice and the per-message-index payload tails (broadcast
+	// tails stay caller-owned, so per-index pooling is safe).
+	msgs    []congest.BroadcastMsg
+	extBufs [][]uint64
+}
+
+// extBuf returns the reusable tail buffer for broadcast message index i.
+func (b *distBuilder) extBuf(i, n int) []uint64 {
+	for len(b.extBufs) <= i {
+		b.extBufs = append(b.extBufs, nil)
+	}
+	if cap(b.extBufs[i]) < n {
+		b.extBufs[i] = make([]uint64, n)
+	}
+	return b.extBufs[i][:n]
 }
 
 // runPhase wraps Simulator.Run with convergence detection and a trace span.

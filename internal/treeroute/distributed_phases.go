@@ -7,37 +7,28 @@ import (
 	"lowmemroute/internal/congest"
 )
 
-// Message payloads. Every payload carries its tree index t; word counts
+// Message kinds. Every payload carries its tree index t in W0; word counts
 // include it (a tree id is an identity, one word in the CONGEST RAM model).
-type (
-	pRoot  struct{ t, root int } // phase A: local-tree flood
-	pSize  struct{ t, size int } // phases B and D: convergecasts
-	pLight struct {              // phase E: local light lists
-		t     int
-		light bool
-		list  []LightEdge
-	}
-	pGLight struct { // phase G: global light flood
-		t    int
-		list []LightEdge
-	}
-	pIdx   struct{ t, idx int }       // phase H: sibling index
-	pAdd   struct{ t, idx, val int }  // phase H: prefix add, child->parent
-	pFwd   struct{ t, iter, val int } // phase H: prefix add, parent->targets
-	pRange struct{ t, a int }         // phase H: parent's DFS range start
-	pShift struct{ t, shift int }     // phase J: final shift flood
-
-	bSize  struct{ t, x, a, s int } // Algorithm 1 broadcast
-	bLight struct {                 // Algorithm 3 broadcast
-		t, x int
-		list []LightEdge
-	}
-	bShift struct{ t, x, q int } // Algorithm 6 broadcast
+// Light-edge lists travel in the variable-length tail as (Parent, Child)
+// word pairs, preceded by an inline length word.
+const (
+	kindRoot   congest.PayloadKind = iota + 1 // phase A: local-tree flood (W1=root)
+	kindSize                                  // phases B and D: convergecasts (W1=size)
+	kindLight                                 // phase E: local light lists (W1=light, W2=len, Ext=pairs)
+	kindGLight                                // phase G: global light flood (W1=len, Ext=pairs)
+	kindIdx                                   // phase H: sibling index (W1=idx)
+	kindAdd                                   // phase H: prefix add, child->parent (W1=idx, W2=val)
+	kindFwd                                   // phase H: prefix add, parent->targets (W1=iter, W2=val)
+	kindRange                                 // phase H: parent's DFS range start (W1=a)
+	kindShift                                 // phase J: final shift flood (W1=shift)
+	kindBSize                                 // Algorithm 1 broadcast (W1=x, W2=a, W3=s)
+	kindBLight                                // Algorithm 3 broadcast (W1=x, W2=len, Ext=pairs)
+	kindBShift                                // Algorithm 6 broadcast (W1=x, W2=q)
 )
 
-// Word counts for the fixed-size payloads above: one word per field, in
-// declaration order. Variable-size payloads (pLight, pGLight, bLight) are
-// sized at the send site from lightWords.
+// Word counts for the fixed-size payloads above. Variable-size payloads
+// (kindLight, kindGLight, kindBLight) are sized at the send site from
+// lightWords plus their inline head.
 const (
 	pRootWords  = 2
 	pSizeWords  = 2
@@ -51,6 +42,15 @@ const (
 )
 
 func lightWords(list []LightEdge) int { return 2 * len(list) }
+
+// encodeLight writes list as (Parent, Child) word pairs into dst, which must
+// hold lightWords(list) words.
+func encodeLight(dst []uint64, list []LightEdge) {
+	for j, e := range list {
+		dst[2*j] = congest.IntWord(e.Parent)
+		dst[2*j+1] = congest.IntWord(e.Child)
+	}
+}
 
 // phaseLocalRoots implements the first flood of Section 3.1: every portal
 // announces itself down its local tree; portal children in the virtual tree
@@ -69,26 +69,28 @@ func (b *distBuilder) phaseLocalRoots() error {
 				st.localRoot[l] = v
 				ctx.Mem().Charge(1)
 				for _, c := range st.tree.Children(v) {
-					ctx.Send(c, pRoot{t: st.idx, root: v}, pRootWords)
+					ctx.Send(c, congest.Payload{Kind: kindRoot, W0: congest.IntWord(st.idx), W1: congest.IntWord(v)}, pRootWords)
 				}
 			}
 		}
-		for _, m := range ctx.In() {
-			p, ok := m.Payload.(pRoot)
-			if !ok {
+		in := ctx.In()
+		for i := range in {
+			m := &in[i]
+			p := &m.Payload
+			if p.Kind != kindRoot {
 				continue
 			}
-			st := b.ts[p.t]
+			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
 			if st.inU[l] {
-				st.virtParent[l] = p.root
+				st.virtParent[l] = congest.WordInt(p.W1)
 				ctx.Mem().Charge(1)
 				continue
 			}
-			st.localRoot[l] = p.root
+			st.localRoot[l] = congest.WordInt(p.W1)
 			ctx.Mem().Charge(1)
 			for _, c := range st.tree.Children(v) {
-				ctx.Send(c, p, pRootWords)
+				ctx.Send(c, *p, pRootWords)
 			}
 		}
 	})
@@ -109,11 +111,11 @@ func (b *distBuilder) phaseLocalSizes() error {
 			st.pjS[l] = st.acc[l] // s_0(x) = |T_x|
 			ctx.Mem().Charge(1)
 			if v != st.tree.Root {
-				ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: 0}, pSizeWords)
+				ctx.Send(st.tree.Parent(v), congest.Payload{Kind: kindSize, W0: congest.IntWord(st.idx)}, pSizeWords)
 			}
 			return
 		}
-		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, pSizeWords)
+		ctx.Send(st.tree.Parent(v), congest.Payload{Kind: kindSize, W0: congest.IntWord(st.idx), W1: congest.IntWord(st.acc[l])}, pSizeWords)
 	}
 	initial := b.union(func(st *treeState, l int) bool { return st.pending[l] == 0 })
 	return b.runPhase("local-sizes", initial, func(v int, ctx *congest.Ctx) {
@@ -129,14 +131,16 @@ func (b *distBuilder) phaseLocalSizes() error {
 				complete(st, v, l, ctx)
 			}
 		}
-		for _, m := range ctx.In() {
-			p, ok := m.Payload.(pSize)
-			if !ok {
+		in := ctx.In()
+		for i := range in {
+			m := &in[i]
+			p := &m.Payload
+			if p.Kind != kindSize {
 				continue
 			}
-			st := b.ts[p.t]
+			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
-			st.acc[l] += p.size
+			st.acc[l] += congest.WordInt(p.W1)
 			st.pending[l]--
 			if st.pending[l] == 0 {
 				complete(st, v, l, ctx)
@@ -161,32 +165,42 @@ func (b *distBuilder) phaseGlobalSizes() {
 		}
 	}
 	for i := 0; i < b.iters; i++ {
-		var msgs []congest.BroadcastMsg
+		b.msgs = b.msgs[:0]
 		for _, st := range b.ts {
 			for l, v := range st.verts {
 				if st.inU[l] {
 					st.tmpA[l] = st.pjA[l]
 					st.tmpS[l] = 0
-					msgs = append(msgs, congest.BroadcastMsg{
-						Origin:  v,
-						Payload: bSize{t: st.idx, x: v, a: st.pjA[l], s: st.pjS[l]},
-						Words:   bSizeWords,
+					b.msgs = append(b.msgs, congest.BroadcastMsg{
+						Origin: v,
+						Payload: congest.Payload{
+							Kind: kindBSize,
+							W0:   congest.IntWord(st.idx),
+							W1:   congest.IntWord(v),
+							W2:   congest.IntWord(st.pjA[l]),
+							W3:   congest.IntWord(st.pjS[l]),
+						},
+						Words: bSizeWords,
 					})
 				}
 			}
 		}
-		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
-			p := m.Payload.(bSize)
-			st := b.ts[p.t]
+		b.sim.Broadcast(b.msgs, func(v int, m *congest.BroadcastMsg) {
+			p := &m.Payload
+			if p.Kind != kindBSize {
+				return
+			}
+			st := b.ts[congest.WordInt(p.W0)]
 			l, ok := st.memberIdx(v)
 			if !ok || !st.inU[l] {
 				return
 			}
-			if st.pjA[l] == p.x {
-				st.tmpA[l] = p.a // a_{i+1}(v) = a_i(a_i(v))
+			x, a := congest.WordInt(p.W1), congest.WordInt(p.W2)
+			if st.pjA[l] == x {
+				st.tmpA[l] = a // a_{i+1}(v) = a_i(a_i(v))
 			}
-			if p.a == v {
-				st.tmpS[l] += p.s // w with a_i(w) = v contributes s_i(w)
+			if a == v {
+				st.tmpS[l] += congest.WordInt(p.W3) // w with a_i(w) = v contributes s_i(w)
 			}
 		})
 		for _, st := range b.ts {
@@ -231,7 +245,7 @@ func (b *distBuilder) phaseSizesDown() error {
 		}
 		st.size[l] = st.acc[l]
 		ctx.Mem().Charge(1)
-		ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.acc[l]}, pSizeWords)
+		ctx.Send(st.tree.Parent(v), congest.Payload{Kind: kindSize, W0: congest.IntWord(st.idx), W1: congest.IntWord(st.acc[l])}, pSizeWords)
 	}
 	kick := func(st *treeState, l int) bool {
 		return (st.inU[l] && st.verts[l] != st.tree.Root) || st.pending[l] == 0
@@ -248,30 +262,33 @@ func (b *distBuilder) phaseSizesDown() error {
 			} else if ctx.Round() == st.offset {
 				st.kicked[l] = true
 				if st.inU[l] && v != st.tree.Root {
-					ctx.Send(st.tree.Parent(v), pSize{t: st.idx, size: st.size[l]}, pSizeWords)
+					ctx.Send(st.tree.Parent(v), congest.Payload{Kind: kindSize, W0: congest.IntWord(st.idx), W1: congest.IntWord(st.size[l])}, pSizeWords)
 				}
 				if st.pending[l] == 0 {
 					complete(st, v, l, ctx)
 				}
 			}
 		}
-		for _, m := range ctx.In() {
-			p, ok := m.Payload.(pSize)
-			if !ok {
+		in := ctx.In()
+		for i := range in {
+			m := &in[i]
+			p := &m.Payload
+			if p.Kind != kindSize {
 				continue
 			}
-			st := b.ts[p.t]
+			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
+			size := congest.WordInt(p.W1)
 			// Tie-break toward the smaller child id so the choice is
 			// independent of report arrival order (and matches the
 			// centralized reference).
-			if p.size > st.heavyBest[l] ||
-				(p.size == st.heavyBest[l] && m.From < st.heavy[l]) {
-				st.heavyBest[l] = p.size
+			if size > st.heavyBest[l] ||
+				(size == st.heavyBest[l] && m.From < st.heavy[l]) {
+				st.heavyBest[l] = size
 				st.heavy[l] = m.From
 				ctx.Mem().Charge(1)
 			}
-			st.acc[l] += p.size
+			st.acc[l] += size
 			st.pending[l]--
 			if st.pending[l] == 0 {
 				complete(st, v, l, ctx)
@@ -284,9 +301,17 @@ func (b *distBuilder) phaseSizesDown() error {
 // tree; portal children keep the received list as L_0 for Algorithm 3.
 func (b *distBuilder) phaseLocalLight() error {
 	forward := func(st *treeState, v, l int, list []LightEdge, ctx *congest.Ctx) {
+		// One encode serves every child: Send clones the tail per message.
+		ext := ctx.Ext(lightWords(list))
+		encodeLight(ext, list)
 		for _, c := range st.tree.Children(v) {
-			ctx.Send(c, pLight{t: st.idx, light: c != st.heavy[l], list: list},
-				3+lightWords(list))
+			ctx.Send(c, congest.Payload{
+				Kind: kindLight,
+				W0:   congest.IntWord(st.idx),
+				W1:   congest.BoolWord(c != st.heavy[l]),
+				W2:   congest.IntWord(len(list)),
+				Ext:  ext,
+			}, 3+lightWords(list))
 		}
 	}
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
@@ -306,17 +331,29 @@ func (b *distBuilder) phaseLocalLight() error {
 				forward(st, v, l, nil, ctx)
 			}
 		}
-		for _, m := range ctx.In() {
-			p, ok := m.Payload.(pLight)
-			if !ok {
+		in := ctx.In()
+		for i := range in {
+			m := &in[i]
+			p := &m.Payload
+			if p.Kind != kindLight {
 				continue
 			}
-			st := b.ts[p.t]
+			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
-			list := p.list
-			if p.light {
-				list = append(append(make([]LightEdge, 0, len(p.list)+1), p.list...),
-					LightEdge{Parent: m.From, Child: v})
+			light := congest.WordBool(p.W1)
+			k := congest.WordInt(p.W2)
+			// The received tail is engine-owned; decode into a fresh list
+			// (empty non-light lists stay nil, matching the centralized
+			// reference's representation).
+			var list []LightEdge
+			if k > 0 || light {
+				list = make([]LightEdge, 0, k+1)
+				for j := 0; j < 2*k; j += 2 {
+					list = append(list, LightEdge{Parent: congest.WordInt(p.Ext[j]), Child: congest.WordInt(p.Ext[j+1])})
+				}
+				if light {
+					list = append(list, LightEdge{Parent: m.From, Child: v})
+				}
 			}
 			if st.inU[l] {
 				st.lightGlobal[l] = list // L_0(v): lights from p'(v) to v
@@ -334,43 +371,59 @@ func (b *distBuilder) phaseLocalLight() error {
 // portal, the light edges on its full root path.
 func (b *distBuilder) phaseGlobalLight() {
 	for _, st := range b.ts {
-		st.tmpL = make([][]LightEdge, len(st.verts))
+		st.tmpW = make([][]uint64, len(st.verts))
 		st.tmpGot = make([]bool, len(st.verts))
 	}
 	for i := 0; i < b.iters; i++ {
-		var msgs []congest.BroadcastMsg
+		b.msgs = b.msgs[:0]
 		for _, st := range b.ts {
 			for l, v := range st.verts {
 				if st.inU[l] {
-					st.tmpL[l] = nil
+					st.tmpW[l] = nil
 					st.tmpGot[l] = false
-					msgs = append(msgs, congest.BroadcastMsg{
-						Origin:  v,
-						Payload: bLight{t: st.idx, x: v, list: st.lightGlobal[l]},
-						Words:   3 + lightWords(st.lightGlobal[l]),
+					list := st.lightGlobal[l]
+					ext := b.extBuf(len(b.msgs), lightWords(list))
+					encodeLight(ext, list)
+					b.msgs = append(b.msgs, congest.BroadcastMsg{
+						Origin: v,
+						Payload: congest.Payload{
+							Kind: kindBLight,
+							W0:   congest.IntWord(st.idx),
+							W1:   congest.IntWord(v),
+							W2:   congest.IntWord(len(list)),
+							Ext:  ext,
+						},
+						Words: 3 + lightWords(list),
 					})
 				}
 			}
 		}
-		// The handler only records the received list; the merge (which
-		// allocates and changes the vertex's stored state) happens in the
-		// commit loop below, where the growth is charged to the meter.
-		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
-			p := m.Payload.(bLight)
-			st := b.ts[p.t]
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] || st.anc[l][i] != p.x {
+		// The handler only records the received tail (caller-owned, valid
+		// until the next iteration's encode); the merge (which allocates and
+		// changes the vertex's stored state) happens in the commit loop
+		// below, where the growth is charged to the meter.
+		b.sim.Broadcast(b.msgs, func(v int, m *congest.BroadcastMsg) {
+			p := &m.Payload
+			if p.Kind != kindBLight {
 				return
 			}
-			st.tmpL[l] = p.list // L_i(a_i(v))
+			st := b.ts[congest.WordInt(p.W0)]
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
+				return
+			}
+			st.tmpW[l] = p.Ext // L_i(a_i(v))
 			st.tmpGot[l] = true
 		})
 		for _, st := range b.ts {
 			for l, v := range st.verts {
 				if st.inU[l] && st.tmpGot[l] {
 					// L_{i+1}(v) = L_i(a_i(v)) ++ L_i(v)
-					merged := make([]LightEdge, 0, len(st.tmpL[l])+len(st.lightGlobal[l]))
-					merged = append(merged, st.tmpL[l]...)
+					w := st.tmpW[l]
+					merged := make([]LightEdge, 0, len(w)/2+len(st.lightGlobal[l]))
+					for j := 0; j+1 < len(w); j += 2 {
+						merged = append(merged, LightEdge{Parent: congest.WordInt(w[j]), Child: congest.WordInt(w[j+1])})
+					}
 					merged = append(merged, st.lightGlobal[l]...)
 					grow := lightWords(merged) - lightWords(st.lightGlobal[l])
 					st.lightGlobal[l] = merged
@@ -396,29 +449,41 @@ func (b *distBuilder) phaseLightDown() error {
 				ctx.Wake()
 			} else if ctx.Round() == st.offset {
 				st.fullLight[l] = st.lightGlobal[l]
+				list := st.lightGlobal[l]
+				ext := ctx.Ext(lightWords(list))
+				encodeLight(ext, list)
 				for _, c := range st.tree.Children(v) {
-					ctx.Send(c, pGLight{t: st.idx, list: st.lightGlobal[l]},
-						2+lightWords(st.lightGlobal[l]))
+					ctx.Send(c, congest.Payload{
+						Kind: kindGLight,
+						W0:   congest.IntWord(st.idx),
+						W1:   congest.IntWord(len(list)),
+						Ext:  ext,
+					}, 2+lightWords(list))
 				}
 			}
 		}
-		for _, m := range ctx.In() {
-			p, ok := m.Payload.(pGLight)
-			if !ok {
+		in := ctx.In()
+		for i := range in {
+			m := &in[i]
+			p := &m.Payload
+			if p.Kind != kindGLight {
 				continue
 			}
-			st := b.ts[p.t]
+			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
 			if st.inU[l] {
 				continue
 			}
-			full := make([]LightEdge, 0, len(p.list)+len(st.lightLocal[l]))
-			full = append(full, p.list...)
+			k := congest.WordInt(p.W1)
+			full := make([]LightEdge, 0, k+len(st.lightLocal[l]))
+			for j := 0; j < 2*k; j += 2 {
+				full = append(full, LightEdge{Parent: congest.WordInt(p.Ext[j]), Child: congest.WordInt(p.Ext[j+1])})
+			}
 			full = append(full, st.lightLocal[l]...)
 			st.fullLight[l] = full
-			ctx.Mem().Charge(int64(lightWords(p.list)))
+			ctx.Mem().Charge(int64(2 * k))
 			for _, c := range st.tree.Children(v) {
-				ctx.Send(c, p, 2+lightWords(p.list))
+				ctx.Send(c, *p, 2+2*k)
 			}
 		}
 	})
@@ -441,7 +506,12 @@ func (b *distBuilder) phaseLocalDFS() error {
 			return
 		}
 		st.sentAdd[l] = true
-		ctx.Send(st.tree.Parent(v), pAdd{t: st.idx, idx: st.sibIdx[l], val: st.size[l] + st.lowSum[l]}, pAddWords)
+		ctx.Send(st.tree.Parent(v), congest.Payload{
+			Kind: kindAdd,
+			W0:   congest.IntWord(st.idx),
+			W1:   congest.IntWord(st.sibIdx[l]),
+			W2:   congest.IntWord(st.size[l] + st.lowSum[l]),
+		}, pAddWords)
 	}
 	maybeComplete := func(st *treeState, v, l int, ctx *congest.Ctx) {
 		if st.dfsDone[l] {
@@ -462,7 +532,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 		st.haveIn[l] = true
 		ctx.Mem().Charge(2)
 		for _, c := range st.tree.Children(v) {
-			ctx.Send(c, pRange{t: st.idx, a: start}, pRangeWords)
+			ctx.Send(c, congest.Payload{Kind: kindRange, W0: congest.IntWord(st.idx), W1: congest.IntWord(start)}, pRangeWords)
 		}
 	}
 	kick := func(st *treeState, l int) bool {
@@ -485,7 +555,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 			} else if ctx.Round() == st.offset {
 				st.kicked[l] = true
 				for i, c := range st.tree.Children(v) {
-					ctx.Send(c, pIdx{t: st.idx, idx: i + 1}, pIdxWords)
+					ctx.Send(c, congest.Payload{Kind: kindIdx, W0: congest.IntWord(st.idx), W1: congest.IntWord(i + 1)}, pIdxWords)
 				}
 				if st.inU[l] {
 					st.localIn[l] = 1
@@ -495,48 +565,58 @@ func (b *distBuilder) phaseLocalDFS() error {
 						st.haveQ[l] = true // q_z = 0
 					}
 					for _, c := range st.tree.Children(v) {
-						ctx.Send(c, pRange{t: st.idx, a: 1}, pRangeWords)
+						ctx.Send(c, congest.Payload{Kind: kindRange, W0: congest.IntWord(st.idx), W1: congest.IntWord(1)}, pRangeWords)
 					}
 				}
 			}
 		}
-		for _, m := range ctx.In() {
-			switch p := m.Payload.(type) {
-			case pIdx:
-				st := b.ts[p.t]
+		in := ctx.In()
+		for i := range in {
+			m := &in[i]
+			p := &m.Payload
+			switch p.Kind {
+			case kindIdx:
+				st := b.ts[congest.WordInt(p.W0)]
 				l := st.l(v)
-				st.sibIdx[l] = p.idx
+				st.sibIdx[l] = congest.WordInt(p.W1)
 				ctx.Mem().Charge(1)
 				maybeSendAdd(st, v, l, ctx)
 				maybeComplete(st, v, l, ctx)
-			case pAdd:
+			case kindAdd:
 				// Pure relay (Algorithm 5's parent role): forward the add to
 				// the 2^i siblings following the sender, storing nothing.
-				st := b.ts[p.t]
-				i := bits.TrailingZeros(uint(p.idx))
+				st := b.ts[congest.WordInt(p.W0)]
+				idx := congest.WordInt(p.W1)
+				i := bits.TrailingZeros(uint(idx))
 				children := st.tree.Children(v)
-				for tgt := p.idx + 1; tgt <= p.idx+(1<<i) && tgt <= len(children); tgt++ {
-					ctx.Send(children[tgt-1], pFwd{t: p.t, iter: i, val: p.val}, pFwdWords)
+				for tgt := idx + 1; tgt <= idx+(1<<i) && tgt <= len(children); tgt++ {
+					ctx.Send(children[tgt-1], congest.Payload{
+						Kind: kindFwd,
+						W0:   p.W0,
+						W1:   congest.IntWord(i),
+						W2:   p.W2,
+					}, pFwdWords)
 				}
-			case pFwd:
-				st := b.ts[p.t]
+			case kindFwd:
+				st := b.ts[congest.WordInt(p.W0)]
 				l := st.l(v)
 				if st.sibIdx[l] == 0 {
-					panic(fmt.Sprintf("treeroute: vertex %d got prefix add before its index (tree %d)", v, p.t))
+					panic(fmt.Sprintf("treeroute: vertex %d got prefix add before its index (tree %d)", v, congest.WordInt(p.W0)))
 				}
+				iter := congest.WordInt(p.W1)
 				tz := bits.TrailingZeros(uint(st.sibIdx[l]))
-				if p.iter < tz {
-					st.lowSum[l] += p.val
+				if iter < tz {
+					st.lowSum[l] += congest.WordInt(p.W2)
 				} else {
-					st.highSum[l] += p.val
+					st.highSum[l] += congest.WordInt(p.W2)
 				}
-				st.addMask[l] |= 1 << p.iter
+				st.addMask[l] |= 1 << iter
 				maybeSendAdd(st, v, l, ctx)
 				maybeComplete(st, v, l, ctx)
-			case pRange:
-				st := b.ts[p.t]
+			case kindRange:
+				st := b.ts[congest.WordInt(p.W0)]
 				l := st.l(v)
-				st.qShift[l] = p.a
+				st.qShift[l] = congest.WordInt(p.W1)
 				st.haveQ[l] = true
 				ctx.Mem().Charge(1)
 				maybeComplete(st, v, l, ctx)
@@ -564,27 +644,35 @@ func (b *distBuilder) phaseGlobalShifts() {
 		}
 	}
 	for i := 0; i < b.iters; i++ {
-		var msgs []congest.BroadcastMsg
+		b.msgs = b.msgs[:0]
 		for _, st := range b.ts {
 			for l, v := range st.verts {
 				if st.inU[l] {
 					st.tmpQ[l] = 0
-					msgs = append(msgs, congest.BroadcastMsg{
-						Origin:  v,
-						Payload: bShift{t: st.idx, x: v, q: st.shift[l]},
-						Words:   bShiftWords,
+					b.msgs = append(b.msgs, congest.BroadcastMsg{
+						Origin: v,
+						Payload: congest.Payload{
+							Kind: kindBShift,
+							W0:   congest.IntWord(st.idx),
+							W1:   congest.IntWord(v),
+							W2:   congest.IntWord(st.shift[l]),
+						},
+						Words: bShiftWords,
 					})
 				}
 			}
 		}
-		b.sim.Broadcast(msgs, func(v int, m congest.BroadcastMsg) {
-			p := m.Payload.(bShift)
-			st := b.ts[p.t]
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] || st.anc[l][i] != p.x {
+		b.sim.Broadcast(b.msgs, func(v int, m *congest.BroadcastMsg) {
+			p := &m.Payload
+			if p.Kind != kindBShift {
 				return
 			}
-			st.tmpQ[l] = p.q // q_i(a_i(v))
+			st := b.ts[congest.WordInt(p.W0)]
+			l, ok := st.memberIdx(v)
+			if !ok || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
+				return
+			}
+			st.tmpQ[l] = congest.WordInt(p.W2) // q_i(a_i(v))
 		})
 		for _, st := range b.ts {
 			for l := range st.verts {
@@ -596,46 +684,56 @@ func (b *distBuilder) phaseGlobalShifts() {
 	}
 }
 
+// finalizeShift records a vertex's final DFS interval from its local entry
+// time plus the accumulated portal shift.
+func (b *distBuilder) finalizeShift(st *treeState, l, shift int, ctx *congest.Ctx) {
+	st.finalIn[l] = st.localIn[l] + shift
+	st.finalOut[l] = st.finalIn[l] + st.size[l] - 1
+	ctx.Mem().Charge(2)
+}
+
+// stepShiftsDown is the per-vertex program of the shifts-down flood. It is a
+// named method (not a per-phase closure) so a warm flood re-run allocates
+// nothing - the steady-state alloc test pins that.
+func (b *distBuilder) stepShiftsDown(v int, ctx *congest.Ctx) {
+	for _, st := range b.ts {
+		l, ok := st.memberIdx(v)
+		if !ok || !st.inU[l] {
+			continue
+		}
+		if ctx.Round() < st.offset {
+			ctx.Wake()
+		} else if ctx.Round() == st.offset {
+			b.finalizeShift(st, l, st.shift[l], ctx)
+			for _, c := range st.tree.Children(v) {
+				ctx.Send(c, congest.Payload{Kind: kindShift, W0: congest.IntWord(st.idx), W1: congest.IntWord(st.shift[l])}, pShiftWords)
+			}
+		}
+	}
+	in := ctx.In()
+	for i := range in {
+		m := &in[i]
+		p := &m.Payload
+		if p.Kind != kindShift {
+			continue
+		}
+		st := b.ts[congest.WordInt(p.W0)]
+		l := st.l(v)
+		if st.inU[l] {
+			continue
+		}
+		b.finalizeShift(st, l, congest.WordInt(p.W1), ctx)
+		for _, c := range st.tree.Children(v) {
+			ctx.Send(c, *p, pShiftWords)
+		}
+	}
+}
+
 // phaseShiftsDown completes Stage 3: each portal floods its accumulated
 // shift down its local tree and every vertex finalises its DFS interval.
 func (b *distBuilder) phaseShiftsDown() error {
-	finalize := func(st *treeState, l, shift int, ctx *congest.Ctx) {
-		st.finalIn[l] = st.localIn[l] + shift
-		st.finalOut[l] = st.finalIn[l] + st.size[l] - 1
-		ctx.Mem().Charge(2)
-	}
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
-	err := b.runPhase("shifts-down", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] {
-				continue
-			}
-			if ctx.Round() < st.offset {
-				ctx.Wake()
-			} else if ctx.Round() == st.offset {
-				finalize(st, l, st.shift[l], ctx)
-				for _, c := range st.tree.Children(v) {
-					ctx.Send(c, pShift{t: st.idx, shift: st.shift[l]}, pShiftWords)
-				}
-			}
-		}
-		for _, m := range ctx.In() {
-			p, ok := m.Payload.(pShift)
-			if !ok {
-				continue
-			}
-			st := b.ts[p.t]
-			l := st.l(v)
-			if st.inU[l] {
-				continue
-			}
-			finalize(st, l, p.shift, ctx)
-			for _, c := range st.tree.Children(v) {
-				ctx.Send(c, p, pShiftWords)
-			}
-		}
-	})
+	err := b.runPhase("shifts-down", initial, b.stepShiftsDown)
 	if err != nil {
 		return err
 	}
