@@ -56,13 +56,19 @@ bench-json:
 
 # Compare two snapshots: fails on >MAX_REGRESS ns/B/allocs regression (with
 # allocs/op regressions at or under ALLOC_FLOOR ignored) or on ANY change in
-# a simulation metric (rounds, mem-words, ...). Usage:
+# a simulation metric (rounds, mem-words, ...). When NEW is missing it is
+# generated first (bench-json), so a bare `make bench-diff` is self-contained:
+# it measures the working tree against the committed PR snapshot. Usage:
 #   make bench-diff OLD=BENCH_PR4.json NEW=BENCH_local.json
 OLD ?= BENCH_PR4.json
 NEW ?= BENCH_local.json
 MAX_REGRESS ?= 0.30
 ALLOC_FLOOR ?= 0
 bench-diff:
+	@if [ ! -f "$(NEW)" ]; then \
+		echo "bench-diff: $(NEW) missing; generating it (slow: full Table 1 pass)"; \
+		$(MAKE) bench-json BENCH_TAG=$(patsubst BENCH_%.json,%,$(NEW)); \
+	fi
 	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) -max-regress $(MAX_REGRESS) -alloc-floor $(ALLOC_FLOOR)
 
 # One iteration of every micro-benchmark plus a snapshot round-trip through

@@ -11,6 +11,8 @@
 //	routebench -sweep stretch -n 512 -k 3 # E5: stretch histogram
 //	routebench -trace run.json            # E9: record phase spans + round series
 //	routebench -trace run.json -trace-format chrome  # open in Perfetto
+//	routebench -faults drop=0.05,seed=1 -schemes paper  # E10: lossy build
+//	routebench -strict                    # exit 1 if any sampled pair fails
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"lowmemroute/internal/cliutil"
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/core"
+	"lowmemroute/internal/faults"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/metrics"
 	"lowmemroute/internal/trace"
@@ -42,8 +45,20 @@ func main() {
 		tracePath   = flag.String("trace", "", "write a trace of the paper scheme's builds to this file ('-' = stdout); covers the table1 and stretch sweeps")
 		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
+
+		faultSpec = flag.String("faults", "", "inject faults into the paper scheme's build, e.g. drop=0.05,delay=2,dup=0.01,seed=7,crash=3,17 (table1 and stretch sweeps)")
+		strict    = flag.Bool("strict", false, "exit non-zero when any sampled pair fails to route")
 	)
 	flag.Parse()
+
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		p, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fatalf("bad -faults: %v", err)
+		}
+		plan = p
+	}
 
 	if *pprofAddr != "" {
 		if err := cliutil.StartPprof(*pprofAddr); err != nil {
@@ -59,6 +74,9 @@ func main() {
 		rec.SetMeta("tool", "routebench")
 		rec.SetMeta("family", *family)
 		rec.SetMeta("seed", strconv.FormatInt(*seed, 10))
+		if plan != nil && !plan.Empty() {
+			rec.SetMeta("faults", plan.String())
+		}
 	}
 
 	ns, err := parseInts(*nList)
@@ -74,13 +92,17 @@ func main() {
 		schemeFilter = strings.Split(*schemes, ",")
 	}
 
+	failures := 0
 	switch *sweep {
 	case "table1":
-		runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter, rec)
+		failures = runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter, rec, plan)
 	case "k":
+		if plan != nil && !plan.Empty() {
+			fatalf("-faults supports the table1 and stretch sweeps only")
+		}
 		runMemorySweep(graph.Family(*family), ns, ks, *seed)
 	case "stretch":
-		runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs, rec)
+		failures = runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs, rec, plan)
 	default:
 		fatalf("unknown sweep %q", *sweep)
 	}
@@ -89,22 +111,35 @@ func main() {
 			fatalf("trace: %v", err)
 		}
 	}
+	if *strict && failures > 0 {
+		fatalf("%d sampled pairs failed to route (-strict)", failures)
+	}
 }
 
-func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string, rec *trace.Recorder) {
+func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string, rec *trace.Recorder, plan *faults.Plan) int {
 	fmt.Printf("Table 1: distributed compact routing schemes (%s)\n\n", family)
 	headers := []string{"n", "k", "scheme", "rounds", "messages", "table(w)", "label(w)", "stretch max", "stretch avg", "mem peak(w)", "mem avg(w)"}
 	var rows [][]string
+	var warnings []string
+	failures := 0
+	var fc faults.Counters
 	for _, n := range ns {
 		for _, k := range ks {
 			res, err := metrics.RunTable1(metrics.Table1Config{
 				Family: family, N: n, K: k, Seed: seed, Pairs: pairs, Schemes: schemes,
-				Trace: rec,
+				Trace: rec, Faults: plan,
 			})
 			if err != nil {
 				fatalf("n=%d k=%d: %v", n, k, err)
 			}
 			for _, r := range res {
+				fc.Add(r.Faults)
+				if r.Stretch.Failures > 0 {
+					failures += r.Stretch.Failures
+					warnings = append(warnings, fmt.Sprintf(
+						"warning: n=%d k=%d %s: %d of %d sampled pairs failed to route",
+						r.N, r.K, r.Scheme, r.Stretch.Failures, r.Stretch.Failures+r.Stretch.Pairs))
+				}
 				rounds := "NA"
 				mem := "NA"
 				avg := "NA"
@@ -127,6 +162,14 @@ func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes
 	}
 	fmt.Print(metrics.FormatTable(headers, rows))
 	fmt.Printf("\nstretch bound: 4k-3 (+o(1) for distributed schemes); 'NA' = centralized construction\n")
+	if plan != nil && !plan.Empty() {
+		fmt.Printf("\nfault plan (paper scheme): %s\n", plan)
+		fmt.Printf("faults: %s\n", faultSummary(fc))
+	}
+	for _, w := range warnings {
+		fmt.Println(w)
+	}
+	return failures
 }
 
 func runMemorySweep(family graph.Family, ns, ks []int, seed int64) {
@@ -151,9 +194,10 @@ func runMemorySweep(family graph.Family, ns, ks []int, seed int64) {
 	fmt.Printf("\nexpected shape: paper memory shrinks with k (Õ(n^{1/k})); en16b stays Ω(√n)\n")
 }
 
-func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int, rec *trace.Recorder) {
+func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int, rec *trace.Recorder, plan *faults.Plan) int {
 	const buckets = 12
 	const width = 0.5
+	totalFailures := 0
 	for _, n := range ns {
 		for _, k := range ks {
 			g, err := graph.Generate(family, n, rand.New(rand.NewSource(seed)))
@@ -164,6 +208,9 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 			if rec != nil {
 				simOpts = append(simOpts, congest.WithTrace(rec))
 			}
+			if plan != nil && !plan.Empty() {
+				simOpts = append(simOpts, congest.WithFaults(plan))
+			}
 			sim := congest.New(g, simOpts...)
 			rec.Attach(sim)
 			sp := rec.Begin(fmt.Sprintf("paper[n=%d,k=%d]", n, k))
@@ -173,7 +220,11 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 				fatalf("build: %v", err)
 			}
 			hist, failures := metrics.StretchHistogram(g, s, pairs, buckets, width, rand.New(rand.NewSource(seed+1)))
+			totalFailures += failures
 			fmt.Printf("E5: stretch distribution, n=%d k=%d (%s), bound 4k-3 = %d\n\n", n, k, family, 4*k-3)
+			if plan != nil && !plan.Empty() {
+				fmt.Printf("  built under faults %s: %s\n\n", plan, faultSummary(sim.FaultCounters()))
+			}
 			if failures > 0 {
 				fmt.Printf("  (%d pairs failed to route and were skipped)\n\n", failures)
 			}
@@ -191,6 +242,15 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 			fmt.Println()
 		}
 	}
+	return totalFailures
+}
+
+// faultSummary renders fault counters as one human line.
+func faultSummary(c faults.Counters) string {
+	return fmt.Sprintf("dropped %s (retried %s, lost %s), duplicated %s, delay rounds %s, discarded %s, retry words %s",
+		metrics.FormatInt(c.Dropped), metrics.FormatInt(c.Retried), metrics.FormatInt(c.Lost),
+		metrics.FormatInt(c.Duplicated), metrics.FormatInt(c.DelayRounds),
+		metrics.FormatInt(c.Discarded), metrics.FormatInt(c.RetryWords))
 }
 
 func parseInts(s string) ([]int, error) {

@@ -25,6 +25,47 @@ func ExampleBuild() {
 	// Output: hops: 3 weight: 3
 }
 
+// Build the same scheme on a lossy network: a deterministic fault plan drops
+// and delays messages during construction, the runtime retries the drops,
+// and the finished scheme still routes. Equal seeds reproduce the exact same
+// fault pattern, so the run is as repeatable as a clean one.
+func ExampleBuild_faults() {
+	net := lowmemroute.NewNetwork(6)
+	for i := 0; i < 6; i++ {
+		net.MustAddLink(i, (i+1)%6, 1.0)
+	}
+
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{
+		K: 2, Seed: 42,
+		Faults: &lowmemroute.FaultPlan{Seed: 1, Drop: 0.1, Delay: 1},
+	})
+	if err != nil {
+		panic(err)
+	}
+	path, err := scheme.Route(0, 3)
+	if err != nil {
+		panic(err)
+	}
+	rep := scheme.Report()
+	fmt.Println("hops:", path.Hops(), "weight:", path.Weight)
+	fmt.Println("dropped deliveries were retried:", rep.Faults.Retried > 0)
+	fmt.Println("messages lost:", rep.Faults.Lost)
+	// Output:
+	// hops: 3 weight: 3
+	// dropped deliveries were retried: true
+	// messages lost: 0
+}
+
+// Fault plans round-trip through the routebench -faults mini-language.
+func ExampleParseFaultSpec() {
+	plan, err := lowmemroute.ParseFaultSpec("drop=0.05,delay=2,seed=7")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(plan)
+	// Output: drop=0.05,delay=2,seed=7
+}
+
 // Exact tree routing on a path embedded in the network.
 func ExampleBuildTree() {
 	net := lowmemroute.NewNetwork(5)

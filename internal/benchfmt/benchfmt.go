@@ -8,7 +8,10 @@
 // Wall-clock and byte columns are compared within a tolerance (they measure
 // the host); custom metrics emitted with b.ReportMetric - rounds, memory
 // words, message counts - are simulation outputs and must match exactly: a
-// drift there is a behaviour change, not a perf regression.
+// drift there is a behaviour change, not a perf regression. Rows measured
+// with a single iteration (-benchtime 1x) skip the ns/op comparison
+// entirely - a one-shot wall time is not a statistic - but keep their
+// allocation columns and exact simulation metrics.
 package benchfmt
 
 import (
@@ -236,7 +239,14 @@ func compare(o, n *Benchmark, opts DiffOptions) []string {
 				col, rel*100, ov, nv, opts.MaxRegress*100))
 		}
 	}
-	check("ns/op", o.NsOp, n.NsOp)
+	// Single-iteration rows (-benchtime 1x) carry no timing statistic — one
+	// wall-clock shot swings with host load far beyond any useful threshold.
+	// Those rows exist for their simulation metrics (checked exactly below)
+	// and their allocation columns (deterministic counts), so only ns/op is
+	// exempted.
+	if o.Iters > 1 && n.Iters > 1 {
+		check("ns/op", o.NsOp, n.NsOp)
+	}
 	check("B/op", o.BytesOp, n.BytesOp)
 	check("allocs/op", o.AllocsOp, n.AllocsOp)
 	// Simulation metrics are exact outputs of a deterministic engine: any

@@ -99,7 +99,7 @@ func TestReadJSONRejectsWrongSchema(t *testing.T) {
 func snap(b ...Benchmark) *Snapshot { return &Snapshot{Schema: Schema, Benchmarks: b} }
 
 func bench(name string, ns, bytes, allocs float64, metrics map[string]float64) Benchmark {
-	return Benchmark{Name: name, Pkg: "p", Iters: 1, NsOp: ns, BytesOp: bytes, AllocsOp: allocs, Metrics: metrics}
+	return Benchmark{Name: name, Pkg: "p", Iters: 100, NsOp: ns, BytesOp: bytes, AllocsOp: allocs, Metrics: metrics}
 }
 
 func TestDiffPassWithinThreshold(t *testing.T) {
@@ -139,6 +139,25 @@ func TestDiffFailsOnAllocsFromZero(t *testing.T) {
 	deltas = Diff(old, new, DiffOptions{AllocFloor: 2})
 	if len(deltas[0].Failures) != 0 {
 		t.Fatalf("floor not applied: %v", deltas[0].Failures)
+	}
+}
+
+func TestDiffSingleIterationSkipsNs(t *testing.T) {
+	// -benchtime 1x rows have no timing statistic: a one-shot wall time is
+	// pure host noise, so ns/op is exempt...
+	one := func(ns float64, rounds float64) Benchmark {
+		b := bench("B", ns, 100, 0, map[string]float64{"rounds": rounds})
+		b.Iters = 1
+		return b
+	}
+	deltas := Diff(snap(one(1000, 7)), snap(one(2500, 7)), DiffOptions{})
+	if len(deltas[0].Failures) != 0 {
+		t.Fatalf("single-iteration ns/op should be exempt: %v", deltas[0].Failures)
+	}
+	// ...but the exact simulation metrics still gate the row.
+	deltas = Diff(snap(one(1000, 7)), snap(one(1000, 8)), DiffOptions{})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "metric rounds changed") {
+		t.Fatalf("failures: %v", deltas[0].Failures)
 	}
 }
 

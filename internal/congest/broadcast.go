@@ -3,6 +3,7 @@ package congest
 import (
 	"sort"
 
+	"lowmemroute/internal/faults"
 	"lowmemroute/internal/trace"
 )
 
@@ -30,6 +31,10 @@ type BroadcastMsg struct {
 // traverses every BFS-tree edge, so messages += M*(n-1).
 func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *BroadcastMsg)) {
 	if len(msgs) == 0 {
+		return
+	}
+	if f := s.ensureFaults(); f != nil {
+		s.broadcastFaulty(f, msgs, handle)
 		return
 	}
 	n := s.g.N()
@@ -60,7 +65,95 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *Broadca
 	if s.tracer != nil {
 		s.emitSample(s.rounds, trace.KindBroadcast,
 			int64(len(msgs))+2*int64(s.d), n,
-			int64(len(msgs))*int64(n-1), totalWords*int64(n-1))
+			int64(len(msgs))*int64(n-1), totalWords*int64(n-1), faults.Counters{})
+	}
+}
+
+// broadcastFaulty is Broadcast under a fault plan: every (vertex, message)
+// delivery rolls drops on the stream keyed by (v, msg index), retransmitting
+// up to the plan's budget before the message is counted Lost and the handler
+// skipped for that vertex. The pipelined tree absorbs retransmissions in
+// parallel, so the round cost grows by the worst per-delivery attempt count,
+// while every failed transmission is charged wire cost individually (the
+// paper's bounds are measured under faults, not just in the clean run).
+// Crashed vertices receive nothing, crashed origins reach no one, and
+// partitions sever origin→vertex pairs; the clock is the current global
+// round, so windows opened by earlier Run phases apply here too.
+func (s *Simulator) broadcastFaulty(f *faults.Compiled, msgs []BroadcastMsg, handle func(v int, m *BroadcastMsg)) {
+	n := s.g.N()
+	clock := s.rounds
+	var ctr faults.Counters
+	var totalWords, extraMsgs, extraWords int64
+	maxExtra := 0
+	for _, m := range msgs {
+		w := m.Words
+		if w < 1 {
+			w = 1
+		}
+		totalWords += int64(w)
+	}
+	for v := 0; v < n; v++ {
+		vDown, _ := f.Crashed(v, clock)
+		for j := range msgs {
+			m := &msgs[j]
+			w := int64(m.Words)
+			if w < 1 {
+				w = 1
+			}
+			if vDown {
+				ctr.Discarded++
+				continue
+			}
+			if down, _ := f.Crashed(m.Origin, clock); down {
+				ctr.Discarded++
+				continue
+			}
+			if v != m.Origin {
+				if cut, _ := f.CutPair(m.Origin, v, clock); cut {
+					ctr.Discarded++
+					continue
+				}
+				attempt, lost := 0, false
+				for f.BroadcastDrop(v, j, attempt) {
+					ctr.Dropped++
+					ctr.RetryWords += w
+					extraMsgs++
+					extraWords += w
+					if attempt >= f.Budget() {
+						lost = true
+						break
+					}
+					attempt++
+				}
+				if lost {
+					ctr.Lost++
+					continue
+				}
+				ctr.Retried += int64(attempt)
+				if attempt > maxExtra {
+					maxExtra = attempt
+				}
+				// Each retransmission re-buffers the message at the
+				// receiving tree hop.
+				for a := 0; a < attempt; a++ {
+					s.meters[v].Spike(w)
+				}
+			}
+			if handle != nil {
+				s.meters[v].Spike(w)
+				handle(v, m)
+			}
+		}
+	}
+	rounds := int64(len(msgs)) + 2*int64(s.d) + int64(maxExtra)
+	s.rounds += rounds
+	s.messages += int64(len(msgs))*int64(n-1) + extraMsgs
+	s.words += totalWords*int64(n-1) + extraWords
+	s.faultCtr.Add(ctr)
+	if s.tracer != nil {
+		s.emitSample(s.rounds, trace.KindBroadcast, rounds, n,
+			int64(len(msgs))*int64(n-1)+extraMsgs,
+			totalWords*int64(n-1)+extraWords, ctr)
 	}
 }
 
@@ -74,6 +167,10 @@ func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m *B
 	}
 	sorted := append([]BroadcastMsg(nil), msgs...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Origin < sorted[j].Origin })
+	if f := s.ensureFaults(); f != nil {
+		s.convergecastFaulty(f, sink, sorted, handle)
+		return
+	}
 	s.rounds += int64(len(sorted)) + 2*int64(s.d)
 	var totalWords int64
 	for _, m := range sorted {
@@ -100,6 +197,83 @@ func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m *B
 	if s.tracer != nil {
 		s.emitSample(s.rounds, trace.KindConvergecast,
 			int64(len(sorted))+2*int64(s.d), len(sorted),
-			int64(len(sorted))*int64(s.d), totalWords*int64(s.d))
+			int64(len(sorted))*int64(s.d), totalWords*int64(s.d), faults.Counters{})
+	}
+}
+
+// convergecastFaulty mirrors broadcastFaulty for the aggregation direction:
+// per-message drop rolls keyed on (sink, origin-order index), bounded
+// retransmission, crash and partition checks between each origin and the
+// sink. A crashed sink learns nothing (every message is Discarded).
+func (s *Simulator) convergecastFaulty(f *faults.Compiled, sink int, sorted []BroadcastMsg, handle func(m *BroadcastMsg)) {
+	clock := s.rounds
+	var ctr faults.Counters
+	var totalWords, extraMsgs, extraWords int64
+	maxExtra := 0
+	for _, m := range sorted {
+		w := m.Words
+		if w < 1 {
+			w = 1
+		}
+		totalWords += int64(w)
+	}
+	sinkDown, _ := f.Crashed(sink, clock)
+	for j := range sorted {
+		m := &sorted[j]
+		w := int64(m.Words)
+		if w < 1 {
+			w = 1
+		}
+		if sinkDown {
+			ctr.Discarded++
+			continue
+		}
+		if down, _ := f.Crashed(m.Origin, clock); down {
+			ctr.Discarded++
+			continue
+		}
+		if m.Origin != sink {
+			if cut, _ := f.CutPair(m.Origin, sink, clock); cut {
+				ctr.Discarded++
+				continue
+			}
+			attempt, lost := 0, false
+			for f.BroadcastDrop(sink, j, attempt) {
+				ctr.Dropped++
+				ctr.RetryWords += w
+				extraMsgs++
+				extraWords += w
+				if attempt >= f.Budget() {
+					lost = true
+					break
+				}
+				attempt++
+			}
+			if lost {
+				ctr.Lost++
+				continue
+			}
+			ctr.Retried += int64(attempt)
+			if attempt > maxExtra {
+				maxExtra = attempt
+			}
+			for a := 0; a < attempt; a++ {
+				s.meters[sink].Spike(w)
+			}
+		}
+		if handle != nil {
+			s.meters[sink].Spike(w)
+			handle(m)
+		}
+	}
+	rounds := int64(len(sorted)) + 2*int64(s.d) + int64(maxExtra)
+	s.rounds += rounds
+	s.messages += int64(len(sorted))*int64(s.d) + extraMsgs
+	s.words += totalWords*int64(s.d) + extraWords
+	s.faultCtr.Add(ctr)
+	if s.tracer != nil {
+		s.emitSample(s.rounds, trace.KindConvergecast, rounds, len(sorted),
+			int64(len(sorted))*int64(s.d)+extraMsgs,
+			totalWords*int64(s.d)+extraWords, ctr)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"runtime"
 
+	"lowmemroute/internal/faults"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/trace"
 )
@@ -126,6 +127,22 @@ type Simulator struct {
 	ctxs      []Ctx
 	actList   []int
 	nextList  []int
+
+	// Fault injection (WithFaults). faults stays nil for an empty plan, so
+	// the clean hot path pays one nil check per round; when set, delivery
+	// runs through drainDstFaulty. Fault decisions inside the sharded
+	// delivery phase accumulate into per-shard counters and spike lists
+	// (shardFault/shardSpike) and are merged serially after the barrier.
+	// faultClock is the absolute round of the deliveries in flight; see
+	// DESIGN.md §11 for the clock and determinism contract.
+	faultPlan  *faults.Plan
+	faults     *faults.Compiled
+	faultCtr   faults.Counters
+	faultBase  int64
+	faultClock int64
+	faultQ     []edgeFaultState // parallel to queues; nil without a plan
+	shardFault []faults.Counters
+	shardSpike [][]faults.Spike
 }
 
 // Option configures a Simulator.
@@ -166,6 +183,22 @@ func WithTrace(t trace.Sink) Option {
 // tests and ablations).
 func WithEdgeCapacity(c int) Option {
 	return func(s *Simulator) { s.capacity = c }
+}
+
+// WithFaults installs a deterministic fault plan (see internal/faults): the
+// engine consults it at delivery time to drop, delay, duplicate, or sever
+// messages and to keep crashed vertices from executing. A nil or empty plan
+// leaves the simulator on its zero-overhead clean path, byte-identical to a
+// simulator constructed without this option. Equal plans (including seeds)
+// reproduce the exact same fault pattern regardless of worker count.
+func WithFaults(p *faults.Plan) Option {
+	return func(s *Simulator) {
+		if p == nil || p.Empty() {
+			s.faultPlan = nil
+			return
+		}
+		s.faultPlan = p
+	}
 }
 
 // WithIdleFastForward toggles the idle-round fast-forward (default on):
@@ -246,6 +279,42 @@ func (s *Simulator) AvgPeakMemory() float64 {
 	return float64(t) / float64(len(s.meters))
 }
 
+// FaultsEnabled reports whether a non-empty fault plan is installed.
+// Handler packages use it to allocate duplicate-suppression state only when
+// re-delivery is actually possible.
+func (s *Simulator) FaultsEnabled() bool { return s.faultPlan != nil }
+
+// FaultCounters returns the cumulative fault-injection tallies (zero when no
+// plan is installed or no fault has fired).
+func (s *Simulator) FaultCounters() faults.Counters { return s.faultCtr }
+
+// ensureFaults lazily compiles the installed fault plan against the current
+// vertex count; returns nil (and stays on the clean path) without a plan.
+func (s *Simulator) ensureFaults() *faults.Compiled {
+	if s.faultPlan == nil {
+		return nil
+	}
+	if s.faults == nil {
+		s.faults = faults.Compile(s.faultPlan, s.g.N())
+		if s.faults == nil { // plan turned out empty
+			s.faultPlan = nil
+			return nil
+		}
+		shards := s.workers
+		if shards < 1 {
+			shards = 1
+		}
+		s.shardFault = make([]faults.Counters, shards)
+		s.shardSpike = make([][]faults.Spike, shards)
+	}
+	// Callers run ensureTopology first, so queues is current here; track it
+	// if the graph grew between Runs.
+	if len(s.faultQ) != len(s.queues) {
+		s.faultQ = make([]edgeFaultState, len(s.queues))
+	}
+	return s.faults
+}
+
 // Rand returns the simulator's deterministic RNG. Single-threaded phases
 // only; per-vertex code should use DeriveRand.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
@@ -261,7 +330,7 @@ func (s *Simulator) AddRounds(k int64) {
 	if k > 0 {
 		s.rounds += k
 		if s.tracer != nil {
-			s.emitSample(s.rounds, trace.KindAnalytic, k, 0, 0, 0)
+			s.emitSample(s.rounds, trace.KindAnalytic, k, 0, 0, 0, faults.Counters{})
 		}
 	}
 }
@@ -284,18 +353,25 @@ func (s *Simulator) meterStats() (int64, float64) {
 }
 
 // emitSample builds and delivers one RoundSample; callers guard s.tracer.
-func (s *Simulator) emitSample(round int64, kind string, rounds int64, active int, msgs, words int64) {
+// fd carries the interval's fault-counter deltas (zero without a plan, so
+// the omitempty fields keep clean exports v1-shaped).
+func (s *Simulator) emitSample(round int64, kind string, rounds int64, active int, msgs, words int64, fd faults.Counters) {
 	mx, mean := s.meterStats()
 	s.tracer.RoundSample(trace.RoundSample{
-		Round:    round,
-		Rounds:   rounds,
-		Kind:     kind,
-		Active:   active,
-		Messages: msgs,
-		Words:    words,
-		Backlog:  s.queueBacklog(),
-		MemMax:   mx,
-		MemMean:  mean,
+		Round:      round,
+		Rounds:     rounds,
+		Kind:       kind,
+		Active:     active,
+		Messages:   msgs,
+		Words:      words,
+		Backlog:    s.queueBacklog(),
+		MemMax:     mx,
+		MemMean:    mean,
+		Dropped:    fd.Dropped,
+		Retried:    fd.Retried,
+		Lost:       fd.Lost,
+		Duplicated: fd.Duplicated,
+		Discarded:  fd.Discarded,
 	})
 }
 

@@ -37,6 +37,7 @@ import (
 	"slices"
 	"sync"
 
+	"lowmemroute/internal/faults"
 	"lowmemroute/internal/trace"
 )
 
@@ -61,6 +62,20 @@ type edgeQueue struct {
 	// sent is the number of words of msgs[head] already transmitted in
 	// previous rounds (large messages take several rounds to cross).
 	sent int
+}
+
+// edgeFaultState is the per-edge-queue fault bookkeeping, kept out of
+// edgeQueue and allocated as a parallel slice only when a fault plan is
+// installed, so the clean simulator's topology footprint is untouched. seq
+// is the lifetime delivery sequence number of the head message — the
+// deterministic coordinate of its fault rolls. attempt counts this
+// message's failed transmissions, hold its remaining injected delay rounds,
+// and rolled whether the delay has been drawn yet.
+type edgeFaultState struct {
+	seq     uint64
+	attempt int32
+	hold    int32
+	rolled  bool
 }
 
 func (q *edgeQueue) empty() bool { return q.head == len(q.msgs) }
@@ -193,6 +208,7 @@ func (s *Simulator) edgeID(from, to int) int32 {
 // added to the simulator's round counter).
 func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	s.ensureTopology()
+	s.ensureFaults()
 
 	// Deduplicated, sorted initial active list in the recycled buffer.
 	s.epoch++
@@ -213,14 +229,17 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 
 	executed := 0
 	baseRounds := s.rounds
+	s.faultBase = baseRounds
 	for round := 0; round < maxRounds && (len(s.actList) > 0 || pending > 0); round++ {
 		// Idle-round fast-forward: with no vertex active, rounds until the
 		// next delivery only tick bandwidth budgets. Jump straight there -
 		// the rounds counter advances exactly as if each empty round ran
 		// (the metric is exact-gated), only the wall-clock work is skipped.
 		// Tracing emits one sample per simulated round, so a traced run
-		// executes literally.
-		if len(s.actList) == 0 && pending > 0 && s.capacity > 0 && !s.ffOff && s.tracer == nil {
+		// executes literally; fault plans make empty rounds meaningful
+		// (delays tick, crash windows open and close), so they also run
+		// literally.
+		if len(s.actList) == 0 && pending > 0 && s.capacity > 0 && !s.ffOff && s.tracer == nil && s.faults == nil {
 			if jump := s.fastForward(maxRounds - 1 - round); jump > 0 {
 				round += jump
 				executed += jump
@@ -228,6 +247,7 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 		}
 
 		msgsBefore, wordsBefore := s.messages, s.words
+		ctrBefore := s.faultCtr
 		s.runRound(round, step)
 		executed++
 
@@ -267,6 +287,9 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 
 		// Deliver within bandwidth, sharded by destination: every shard
 		// owns a disjoint set of inboxes, queues and dirty lists.
+		// Deliveries made now are processed next round; fault windows are
+		// evaluated against that arrival round.
+		s.faultClock = baseRounds + int64(round) + 1
 		if s.workers > 1 && pending >= serialThreshold {
 			var wg sync.WaitGroup
 			for sh := range s.shardCur {
@@ -301,9 +324,29 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 			pending += len(s.shardCur[sh])
 		}
 
+		// Merge the shards' fault tallies and apply their deferred sender
+		// spikes (sums and max-tracking spikes are order-independent, so
+		// the merge order cannot affect determinism). Dropped transmissions
+		// consumed wire bandwidth: charge them to the global counters so
+		// the paper's message bounds are measured under faults too.
+		if s.faults != nil {
+			for sh := range s.shardFault {
+				s.faultCtr.Add(s.shardFault[sh])
+				s.shardFault[sh] = faults.Counters{}
+				for _, sp := range s.shardSpike[sh] {
+					s.meters[sp.V].Spike(int64(sp.Words))
+				}
+				s.shardSpike[sh] = s.shardSpike[sh][:0]
+			}
+			fd := s.faultCtr.Delta(ctrBefore)
+			s.messages += fd.Dropped
+			s.words += fd.RetryWords
+		}
+
 		if s.tracer != nil {
 			s.emitSample(baseRounds+int64(executed), trace.KindRound, 1,
-				len(s.actList), s.messages-msgsBefore, s.words-wordsBefore)
+				len(s.actList), s.messages-msgsBefore, s.words-wordsBefore,
+				s.faultCtr.Delta(ctrBefore))
 		}
 
 		// Next round's active list: woken + received, sorted ascending.
@@ -370,6 +413,18 @@ func (s *Simulator) stepVertex(i, round int, step StepFunc) {
 	c.in = s.inbox[v]
 	c.outEdge = c.outEdge[:0]
 	c.wake = false
+	// Crash-stop: a down vertex executes nothing and sends nothing. The
+	// context fields above are still initialised because the serial enqueue
+	// walk reads wake/outEdge for every active slot. Delivery to a down
+	// vertex is held upstream (drainDstFaulty), so its inbox is empty
+	// except in the round its crash window opens — those messages are
+	// wiped with the crash.
+	if s.faults != nil && s.faults.HasCrashes() {
+		if down, _ := s.faults.Crashed(v, s.faultBase+int64(round)); down {
+			s.inboxMax[v] = 0
+			return
+		}
+	}
 	// Link buffers are free; charge only the single largest in-flight
 	// message as transient working space. The maximum is maintained at
 	// delivery time (drainDst), so no inbox rescan here.
@@ -389,7 +444,12 @@ func (s *Simulator) deliverShard(sh int) {
 	nxt := s.shardNxt[sh][:0]
 	for _, v32 := range s.shardCur[sh] {
 		v := int(v32)
-		dm, dw := s.drainDst(v)
+		var dm, dw int64
+		if s.faults != nil {
+			dm, dw = s.drainDstFaulty(v, sh)
+		} else {
+			dm, dw = s.drainDst(v)
+		}
 		msgs += dm
 		words += dw
 		if dm > 0 && s.nextStamp[v] != s.epoch {
@@ -462,6 +522,154 @@ func (s *Simulator) drainDst(v int) (int64, int64) {
 	return msgs, words
 }
 
+// drainDstFaulty is drainDst with the fault plan consulted per delivery. It
+// preserves the clean path's structure exactly — same ascending-sender edge
+// order, same bandwidth pacing, same inbox/dirty bookkeeping — and adds, in
+// order: crash holds/discards for the destination, partition cuts per edge,
+// a per-message delay draw, a per-transmission drop roll with a bounded
+// retransmission budget, and a per-delivery duplication roll. All decisions
+// are stateless hashes keyed on the edge id and the queue's lifetime
+// sequence number, so they are identical at every worker count. Tallies and
+// sender-meter spikes accumulate into this shard's slots and are merged
+// serially after the delivery barrier.
+func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
+	f := s.faults
+	clock := s.faultClock
+	ctr := &s.shardFault[sh]
+	base := int(s.inStart[v])
+	region := s.dirtyIn[base : base+int(s.dirtyCnt[v])]
+	slices.Sort(region)
+	if down, forever := f.Crashed(v, clock); down {
+		if !forever {
+			return 0, 0 // held: the backlog carries until v recovers
+		}
+		for _, p := range region {
+			ctr.Discarded += s.discardQueue(s.inEdges[p])
+		}
+		s.dirtyCnt[v] = 0
+		return 0, 0
+	}
+	var msgs, words int64
+	unlimited := s.capacity <= 0
+	live := 0
+	inb := s.inbox[v]
+	inbMax := s.inboxMax[v]
+	for _, p := range region {
+		e := s.inEdges[p]
+		q := &s.queues[e]
+		fq := &s.faultQ[e]
+		if cut, forever := f.CutPair(q.msgs[q.head].From, v, clock); cut {
+			if forever {
+				ctr.Discarded += s.discardQueue(e)
+				continue
+			}
+			region[live] = p
+			live++
+			continue
+		}
+		budget := s.capacity
+		for q.head < len(q.msgs) {
+			m := &q.msgs[q.head]
+			if !fq.rolled {
+				fq.rolled = true
+				d := f.DelayRoll(e, fq.seq)
+				fq.hold = int32(d)
+				ctr.DelayRounds += int64(d)
+			}
+			if fq.hold > 0 {
+				fq.hold-- // head-of-line blocked: one delay round elapses
+				break
+			}
+			if !unlimited {
+				if budget <= 0 {
+					break
+				}
+				if remaining := m.Words - q.sent; remaining > budget {
+					q.sent += budget
+					budget = 0
+					break
+				} else {
+					budget -= remaining
+				}
+			}
+			// The message would complete this round: roll its drop.
+			if f.DropRoll(e, fq.seq, int(fq.attempt)) {
+				ctr.Dropped++
+				ctr.RetryWords += int64(m.Words)
+				q.sent = 0
+				if int(fq.attempt) >= f.Budget() {
+					ctr.Lost++
+					if m.Payload.Ext != nil {
+						s.arena.put(m.Payload.Ext)
+						m.Payload.Ext = nil
+					}
+					q.head++
+					fq.attempt, fq.hold, fq.rolled = 0, 0, false
+					fq.seq++
+					continue
+				}
+				// The sender regenerates and re-queues the message: spike
+				// its meter (deferred — the sender belongs to another
+				// shard) and let the retransmission occupy the following
+				// rounds.
+				ctr.Retried++
+				s.shardSpike[sh] = append(s.shardSpike[sh],
+					faults.Spike{V: int32(m.From), Words: int32(m.Words)})
+				fq.attempt++
+				break
+			}
+			w := int64(m.Words)
+			inb = append(inb, *m)
+			if f.DupRoll(e, fq.seq) {
+				// Deliver a second copy. Its Ext must be a fresh arena
+				// chunk: inbox recycling frees each Ext exactly once.
+				dup := *m
+				dup.Payload.Ext = s.arena.clone(m.Payload.Ext)
+				inb = append(inb, dup)
+				ctr.Duplicated++
+				msgs++
+				words += w
+			}
+			m.Payload.Ext = nil
+			q.head++
+			q.sent = 0
+			fq.attempt, fq.hold, fq.rolled = 0, 0, false
+			fq.seq++
+			if w > inbMax {
+				inbMax = w
+			}
+			msgs++
+			words += w
+		}
+		q.compact()
+		if !q.empty() {
+			region[live] = p
+			live++
+		}
+	}
+	s.inbox[v] = inb
+	s.inboxMax[v] = inbMax
+	s.dirtyCnt[v] = int32(live)
+	return msgs, words
+}
+
+// discardQueue drops every undelivered message of edge e's queue
+// (crashed-forever destination or permanent partition), returning the count.
+// Arena chunks are reclaimed; the put side of the arena is mutex-guarded, so
+// this is safe from inside a delivery shard.
+func (s *Simulator) discardQueue(e int32) int64 {
+	q := &s.queues[e]
+	fq := &s.faultQ[e]
+	dropped := int64(len(q.msgs) - q.head)
+	s.recycleExt(q.msgs[q.head:])
+	clear(q.msgs)
+	q.msgs = q.msgs[:0]
+	q.head, q.sent = 0, 0
+	fq.seq += uint64(dropped)
+	fq.attempt, fq.hold, fq.rolled = 0, 0, false
+	return dropped
+}
+
 // drainAll resets every backlogged queue and dirty list - the end-of-Run
 // "drop undelivered state" path when maxRounds cut the simulation short.
 func (s *Simulator) drainAll() {
@@ -470,11 +678,16 @@ func (s *Simulator) drainAll() {
 			v := int(v32)
 			base := int(s.inStart[v])
 			for i := 0; i < int(s.dirtyCnt[v]); i++ {
-				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
+				e := s.inEdges[s.dirtyIn[base+i]]
+				q := &s.queues[e]
 				s.recycleExt(q.msgs[q.head:]) // delivered prefix holds no chunks
 				clear(q.msgs)
 				q.msgs = q.msgs[:0]
 				q.head, q.sent = 0, 0
+				if s.faultQ != nil {
+					fq := &s.faultQ[e]
+					fq.attempt, fq.hold, fq.rolled = 0, 0, false
+				}
 			}
 			s.dirtyCnt[v] = 0
 		}

@@ -124,7 +124,8 @@ func (a *wordArena) put(chunk []uint64) {
 // recycleExt harvests the arena chunks of a delivered message batch, nil-ing
 // each Ext as it goes so a chunk can never be double-freed. Ext is the only
 // pointer in a Message, so callers that truncate the batch afterwards need
-// no further zeroing. Serial paths only.
+// no further zeroing. The batch must be owned by the caller (serial paths,
+// or a delivery shard discarding its own queues — put itself is locked).
 func (s *Simulator) recycleExt(msgs []Message) {
 	for i := range msgs {
 		if e := msgs[i].Payload.Ext; e != nil {

@@ -125,12 +125,12 @@ const (
 // calls, so a steady-state Explore allocates nothing. Not safe for
 // concurrent use; create one per goroutine.
 type Explorer struct {
-	sim    *congest.Simulator
-	state  [][]RootEntry
-	seeds  []Source
+	sim     *congest.Simulator
+	state   [][]RootEntry
+	seeds   []Source
 	initial []int
-	res    ExploreResult
-	stepFn congest.StepFunc
+	res     ExploreResult
+	stepFn  congest.StepFunc
 
 	// Per-call parameters read by the bound step function.
 	hops  int

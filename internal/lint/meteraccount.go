@@ -2,7 +2,9 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // analyzerMeterAccount builds the LM002 analyzer: allocations made by
@@ -17,6 +19,14 @@ import (
 // Ctx.Ext hands out the engine-owned payload-tail scratch buffer — Send
 // copies out of it into the simulator's arena, which is accounted as message
 // words, not vertex memory, so charging a meter for it would double-count.
+//
+// A second carve-out: buffers whose identifier ends in "Seen" are the fault
+// layer's duplicate-suppression state (see treeroute's sizeSeen/lightSeen).
+// They exist only when a fault plan is active, are sized by local degree,
+// and model the retry protocol's receiver-side dedup filter rather than
+// algorithm state — the paper's memory bounds describe the fault-free
+// algorithm, so charging them would skew the clean-run meter comparison.
+// The suffix is the contract: name a buffer "...Seen" only for that role.
 func analyzerMeterAccount() *Analyzer {
 	return &Analyzer{
 		Name: "meteraccount",
@@ -102,6 +112,36 @@ func runMeterAccount(p *Pass) {
 			}
 		}
 
+		// seenSpans collects RHS ranges of assignments into "...Seen"
+		// buffers, so their make/composite-literal allocations are exempt.
+		type span struct{ pos, end token.Pos }
+		var seenSpans []span
+		ast.Inspect(h.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if !isSeenBuffer(lhs) {
+					continue
+				}
+				if len(as.Lhs) == len(as.Rhs) {
+					seenSpans = append(seenSpans, span{as.Rhs[i].Pos(), as.Rhs[i].End()})
+				} else if len(as.Rhs) == 1 {
+					seenSpans = append(seenSpans, span{as.Rhs[0].Pos(), as.Rhs[0].End()})
+				}
+			}
+			return true
+		})
+		inSeenSpan := func(n ast.Node) bool {
+			for _, s := range seenSpans {
+				if n.Pos() >= s.pos && n.End() <= s.end {
+					return true
+				}
+			}
+			return false
+		}
+
 		charged := make(map[ast.Node]bool) // enclosing funcs known to charge
 		hasCharge := func(fn ast.Node) bool {
 			if v, ok := charged[fn]; ok {
@@ -127,6 +167,9 @@ func runMeterAccount(p *Pass) {
 		}
 
 		report := func(n ast.Node, what string) {
+			if inSeenSpan(n) {
+				return // fault-layer dedup buffer: deliberately unmetered
+			}
 			if hasCharge(enclosingFunc(h.node, n)) {
 				return
 			}
@@ -144,8 +187,8 @@ func runMeterAccount(p *Pass) {
 								report(n, "make allocates")
 							}
 						case "append":
-							if len(n.Args) > 0 && isExtDerived(n.Args[0]) {
-								break // Ctx.Ext scratch: arena-accounted
+							if len(n.Args) > 0 && (isExtDerived(n.Args[0]) || isSeenBuffer(n.Args[0])) {
+								break // Ctx.Ext scratch or fault-layer dedup buffer
 							}
 							report(n, "append allocates")
 						}
@@ -158,7 +201,7 @@ func runMeterAccount(p *Pass) {
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
 					ix, ok := lhs.(*ast.IndexExpr)
-					if !ok {
+					if !ok || isSeenBuffer(ix.X) {
 						continue
 					}
 					if tv, ok := info.Types[ix.X]; ok {
@@ -170,6 +213,28 @@ func runMeterAccount(p *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// isSeenBuffer reports whether e names (possibly through indexing or
+// re-slicing) a buffer whose identifier carries the "Seen" suffix — the
+// naming contract for the fault layer's duplicate-suppression state.
+func isSeenBuffer(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return strings.HasSuffix(x.Sel.Name, "Seen")
+		case *ast.Ident:
+			return strings.HasSuffix(x.Name, "Seen")
+		default:
+			return false
+		}
 	}
 }
 

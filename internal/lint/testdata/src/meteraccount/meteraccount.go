@@ -41,3 +41,23 @@ func extScratch(v int, ctx *congest.Ctx, s *st) {
 	ctx.Send(v, congest.Payload{Kind: 1, Ext: ext}, 1+len(ext))
 	s.buf = append(s.buf, v) // want `append allocates`
 }
+
+type faultSt struct {
+	sizeSeen  [][]bool
+	lightSeen []bool
+	dupSeen   map[int]bool
+}
+
+// Buffers with the "Seen" suffix are the fault layer's duplicate-suppression
+// state (receiver-side dedup for the retry protocol): exempt from LM002,
+// through indexing and re-slicing, but the exemption must not leak to
+// neighboring allocations.
+func seenBuffers(v int, ctx *congest.Ctx, s *faultSt) {
+	s.sizeSeen[v] = make([]bool, 4)
+	s.lightSeen = append(s.lightSeen[:0], true)
+	s.dupSeen[v] = true
+	roundSeen := make([]bool, 4)
+	_ = roundSeen
+	plain := make([]bool, 4) // want `make allocates`
+	_ = plain
+}

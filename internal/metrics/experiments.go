@@ -7,6 +7,7 @@ import (
 	"lowmemroute/internal/baseline"
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/core"
+	"lowmemroute/internal/faults"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/trace"
 	"lowmemroute/internal/treeroute"
@@ -27,6 +28,9 @@ type SchemeRow struct {
 	Stretch    StretchStats
 	PeakMem    int64
 	AvgMem     float64
+	// Faults reports what the fault plan (Table1Config.Faults) did to this
+	// row's construction; zero for clean runs and centralized schemes.
+	Faults faults.Counters
 }
 
 // Table1Config parameterises one Table 1 instance.
@@ -42,6 +46,11 @@ type Table1Config struct {
 	// Trace, when non-nil, records the paper scheme's construction (one
 	// root span per build, per-phase children, per-round samples).
 	Trace *trace.Recorder
+	// Faults, when non-nil and non-empty, injects link and vertex faults
+	// into the paper scheme's construction (the distributed algorithm under
+	// test); baseline rows always build cleanly so the comparison stays
+	// faulty-paper vs clean-baseline.
+	Faults *faults.Plan
 }
 
 // RunTable1 builds every requested scheme on a fresh copy of the same graph
@@ -106,6 +115,9 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		if cfg.Trace != nil {
 			simOpts = append(simOpts, congest.WithTrace(cfg.Trace))
 		}
+		if cfg.Faults != nil && !cfg.Faults.Empty() {
+			simOpts = append(simOpts, congest.WithFaults(cfg.Faults))
+		}
 		sim := congest.New(g, simOpts...)
 		cfg.Trace.Attach(sim)
 		sp := cfg.Trace.Begin(fmt.Sprintf("paper[n=%d,k=%d]", g.N(), cfg.K))
@@ -115,6 +127,7 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 			return row, err
 		}
 		fillSim(&row, sim)
+		row.Faults = sim.FaultCounters()
 		row.TableWords = s.MaxTableWords()
 		row.LabelWords = s.MaxLabelWords()
 		row.Stretch = MeasureStretch(g, s, cfg.Pairs, r)

@@ -8,12 +8,22 @@
 // (clusterroute/treeroute NextHop) the simulator-side router uses. The
 // runtime has a managed lifecycle: Close stops every goroutine and waits
 // for them (no fire-and-forget).
+//
+// The network degrades gracefully under node crashes (Crash/Recover): a node
+// about to forward into a crashed neighbor re-chooses the packet's cluster
+// tree from the destination label's remaining candidates, and when it holds
+// no usable fallback itself the packet cranks back along its walked path so
+// upstream hops - ultimately the source - retry with the trees they know.
+// Rerouted packets arrive flagged Degraded - their path is still a valid
+// scheme walk plus the detour - so callers can report per-query degraded
+// stretch rather than a delivery failure.
 package router
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lowmemroute/internal/clusterroute"
@@ -25,12 +35,16 @@ import (
 // header carries the cluster tree chosen at the source; Trace accumulates
 // the vertex path for observability.
 type Packet struct {
-	Dst     clusterroute.Label
-	Root    int // cluster tree the packet travels in; NoVertex until chosen
-	Target  treeroute.Label
-	Trace   []int
-	done    chan Delivery
-	started time.Time
+	Dst      clusterroute.Label
+	Root     int // cluster tree the packet travels in; NoVertex until chosen
+	Target   treeroute.Label
+	Trace    []int
+	tried    []int // roots abandoned because the tree ran into a crash
+	upstream []int // hops walked, for crankback after a downstream crash
+	crank    bool  // walking backwards looking for a usable fallback tree
+	reroutes int
+	done     chan Delivery
+	started  time.Time
 }
 
 // Delivery reports a completed (or failed) packet.
@@ -38,12 +52,19 @@ type Delivery struct {
 	Path    []int
 	Latency time.Duration
 	Err     error
+	// Degraded marks a packet that was rerouted around at least one crashed
+	// node: the path is a valid scheme walk through a fallback cluster tree,
+	// but its stretch may exceed the clean 4k-5 bound.
+	Degraded bool
+	// Reroutes counts the tree re-selections the packet went through.
+	Reroutes int
 }
 
 // Network is a running packet-forwarding overlay.
 type Network struct {
 	scheme *clusterroute.Scheme
 	inbox  []chan *Packet
+	down   []atomic.Bool
 	quit   chan struct{}
 	wg     sync.WaitGroup
 
@@ -63,6 +84,7 @@ func New(scheme *clusterroute.Scheme) *Network {
 	net := &Network{
 		scheme: scheme,
 		inbox:  make([]chan *Packet, n),
+		down:   make([]atomic.Bool, n),
 		quit:   make(chan struct{}),
 	}
 	for v := 0; v < n; v++ {
@@ -91,7 +113,15 @@ func (net *Network) nodeLoop(v int) {
 // forward makes one local routing decision and hands the packet on.
 func (net *Network) forward(v int, p *Packet) {
 	p.Trace = append(p.Trace, v)
-	if len(p.Trace) > 2*len(net.scheme.Tables)+2 {
+	if net.down[v].Load() {
+		// The node crashed while the packet was queued on its inbox.
+		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: packet lost at crashed node %d", v)})
+		return
+	}
+	// Crankback lengthens the walk by up to one round trip per abandoned
+	// tree, so the TTL scales with the trees tried (the clean budget is
+	// unchanged when nothing was abandoned).
+	if len(p.Trace) > (2*len(net.scheme.Tables)+2)*(1+len(p.tried)) {
 		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: ttl exceeded at %d", v)})
 		return
 	}
@@ -120,20 +150,41 @@ func (net *Network) forward(v int, p *Packet) {
 		}
 	}
 
-	tt, ok := tab.Trees[p.Root]
-	if !ok {
-		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: node %d lacks tree %d", v, p.Root)})
-		return
+	var next int
+	if p.crank {
+		// Walking backwards after a downstream crash: try to switch trees
+		// here, else keep cranking toward the source.
+		p.crank = false
+		next = net.reroute(v, p, tab)
+		if next == graph.NoVertex {
+			net.crankback(v, p)
+			return
+		}
+	} else {
+		tt, ok := tab.Trees[p.Root]
+		if !ok {
+			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: node %d lacks tree %d", v, p.Root)})
+			return
+		}
+		var arrived bool
+		next, arrived = treeroute.NextHop(v, tt, p.Target)
+		if arrived {
+			p.finish(Delivery{Path: p.Trace})
+			return
+		}
+		if next == graph.NoVertex {
+			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: dead end at %d", v)})
+			return
+		}
+		if net.down[next].Load() {
+			next = net.reroute(v, p, tab)
+			if next == graph.NoVertex {
+				net.crankback(v, p)
+				return
+			}
+		}
 	}
-	next, arrived := treeroute.NextHop(v, tt, p.Target)
-	if arrived {
-		p.finish(Delivery{Path: p.Trace})
-		return
-	}
-	if next == graph.NoVertex {
-		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: dead end at %d", v)})
-		return
-	}
+	p.upstream = append(p.upstream, v)
 	select {
 	case net.inbox[next] <- p:
 	case <-net.quit:
@@ -141,9 +192,97 @@ func (net *Network) forward(v int, p *Packet) {
 	}
 }
 
+// crankback sends the packet one hop back along its walked path: the current
+// tree is dead (its unique path to the destination runs through a crash) and
+// v holds no usable fallback, so an upstream hop - ultimately the source -
+// gets to retry with the trees it knows. The walk already happened over real
+// graph edges, so the reverse hops exist.
+func (net *Network) crankback(v int, p *Packet) {
+	if len(p.upstream) == 0 {
+		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf(
+			"router: no usable cluster tree reaches %d after crashes (tried %v)", p.Dst.Vertex, p.tried)})
+		return
+	}
+	prev := p.upstream[len(p.upstream)-1]
+	p.upstream = p.upstream[:len(p.upstream)-1]
+	if net.down[prev].Load() {
+		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf(
+			"router: upstream hop %d crashed during crankback to %d", prev, p.Dst.Vertex)})
+		return
+	}
+	p.crank = true
+	select {
+	case net.inbox[prev] <- p:
+	case <-net.quit:
+		p.finish(Delivery{Path: p.Trace, Err: ErrClosed})
+	}
+}
+
+// reroute re-chooses the packet's cluster tree at v after the current tree
+// ran into a crashed next hop. Candidates come from the destination label in
+// level order (so the fallback is the lowest-stretch tree still usable); a
+// tree qualifies if v's table holds it, it was not abandoned already, and its
+// next hop from v is alive. Returns the new next hop, or NoVertex when no
+// candidate remains.
+func (net *Network) reroute(v int, p *Packet, tab clusterroute.Table) int {
+	if !p.hasTried(p.Root) {
+		p.tried = append(p.tried, p.Root)
+	}
+	for _, e := range p.Dst.Entries {
+		if !e.InCluster || p.hasTried(e.Root) {
+			continue
+		}
+		tt, ok := tab.Trees[e.Root]
+		if !ok {
+			continue
+		}
+		next, arrived := treeroute.NextHop(v, tt, e.TreeLabel)
+		if arrived || next == graph.NoVertex || net.down[next].Load() {
+			continue
+		}
+		p.Root, p.Target = e.Root, e.TreeLabel
+		p.reroutes++
+		return next
+	}
+	return graph.NoVertex
+}
+
+func (p *Packet) hasTried(root int) bool {
+	for _, r := range p.tried {
+		if r == root {
+			return true
+		}
+	}
+	return false
+}
+
 func (p *Packet) finish(d Delivery) {
 	d.Latency = time.Since(p.started)
+	d.Degraded = p.reroutes > 0
+	d.Reroutes = p.reroutes
 	p.done <- d
+}
+
+// Crash marks node v as failed: packets are no longer forwarded into it, and
+// packets already queued at it are lost. Safe for concurrent use; in-flight
+// packets observe the crash at their next hop decision.
+func (net *Network) Crash(v int) {
+	if v >= 0 && v < len(net.down) {
+		net.down[v].Store(true)
+	}
+}
+
+// Recover brings a crashed node back; its table and links were never removed,
+// so forwarding through it resumes immediately.
+func (net *Network) Recover(v int) {
+	if v >= 0 && v < len(net.down) {
+		net.down[v].Store(false)
+	}
+}
+
+// Down reports whether node v is currently crashed.
+func (net *Network) Down(v int) bool {
+	return v >= 0 && v < len(net.down) && net.down[v].Load()
 }
 
 // Send injects a packet at src addressed to dst and blocks until delivery
@@ -151,6 +290,9 @@ func (p *Packet) finish(d Delivery) {
 func (net *Network) Send(src, dst int) (Delivery, error) {
 	if src < 0 || src >= len(net.scheme.Tables) || dst < 0 || dst >= len(net.scheme.Labels) {
 		return Delivery{}, fmt.Errorf("router: endpoints (%d,%d) out of range", src, dst)
+	}
+	if net.down[src].Load() {
+		return Delivery{}, fmt.Errorf("router: source %d is crashed", src)
 	}
 	p := &Packet{
 		Dst:     net.scheme.Labels[dst],

@@ -7,9 +7,16 @@ import (
 )
 
 // SchemaVersion identifies the JSON export layout. Consumers (CI bench
-// tracking) must reject files whose schema field does not match; the
-// version bumps on any incompatible change. Documented in DESIGN.md §7.
-const SchemaVersion = "lowmemroute.trace/v1"
+// tracking) must reject files whose schema field is unknown; the version
+// bumps on any incompatible change. Documented in DESIGN.md §7. Version 2
+// added the per-sample fault counters (dropped/retried/lost/duplicated/
+// discarded, omitted when zero), so v1 files remain readable — see
+// SchemaVersionV1 and ReadJSON.
+const SchemaVersion = "lowmemroute.trace/v2"
+
+// SchemaVersionV1 is the pre-fault-counter export layout, still accepted by
+// ReadJSON: every v1 field decodes identically under v2.
+const SchemaVersionV1 = "lowmemroute.trace/v1"
 
 // Export is the machine-readable form of a recording.
 type Export struct {
@@ -102,14 +109,17 @@ func WriteExportJSON(w io.Writer, e Export) error {
 	return enc.Encode(e)
 }
 
-// ReadJSON parses a JSON export, rejecting unknown schema versions.
+// ReadJSON parses a JSON export, rejecting unknown schema versions. Both the
+// current schema and v1 (a strict subset: v2 only added omitempty fault
+// counters) are accepted.
 func ReadJSON(r io.Reader) (Export, error) {
 	var out Export
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
 		return Export{}, fmt.Errorf("trace: decode export: %w", err)
 	}
-	if out.Schema != SchemaVersion {
-		return Export{}, fmt.Errorf("trace: unsupported schema %q (want %q)", out.Schema, SchemaVersion)
+	if out.Schema != SchemaVersion && out.Schema != SchemaVersionV1 {
+		return Export{}, fmt.Errorf("trace: unsupported schema %q (want %q or %q)",
+			out.Schema, SchemaVersion, SchemaVersionV1)
 	}
 	return out, nil
 }

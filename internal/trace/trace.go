@@ -70,6 +70,13 @@ type RoundSample struct {
 	// mean persistent level across all vertices.
 	MemMax  int64   `json:"memMax"`
 	MemMean float64 `json:"memMean"`
+	// Fault-injection deltas for the sampled interval (schema v2; all zero —
+	// and absent from the JSON — when no fault plan is installed).
+	Dropped    int64 `json:"dropped,omitempty"`
+	Retried    int64 `json:"retried,omitempty"`
+	Lost       int64 `json:"lost,omitempty"`
+	Duplicated int64 `json:"duplicated,omitempty"`
+	Discarded  int64 `json:"discarded,omitempty"`
 }
 
 // RoundSample kinds.

@@ -180,6 +180,16 @@ type treeState struct {
 	tmpQ   []int
 	tmpW   [][]uint64
 	tmpGot []bool
+
+	// Duplicate-suppression state for faulty runs. A fault plan's Duplicate
+	// rolls can re-deliver a message, so the size convergecasts track which
+	// child slots already reported and the light floods whether their single
+	// expected message was consumed. Allocated only when the simulator has a
+	// fault plan installed; like retry buffers, recovery bookkeeping is not
+	// algorithm state and is exempt from memory charging (lint LM002's Seen
+	// exemption).
+	sizeSeen  [][]bool // per local index: child slots whose size report arrived
+	lightSeen []bool   // per local index: light-list flood message consumed
 }
 
 func newTreeState(idx int, t *graph.Tree, q float64, maxOffset int, rng *rand.Rand) *treeState {
@@ -237,6 +247,70 @@ func newTreeState(idx int, t *graph.Tree, q float64, maxOffset int, rng *rand.Ra
 		}
 	}
 	return st
+}
+
+// resetSizeSeen (re)arms the per-child duplicate filters for one of the two
+// size convergecasts. Called only when a fault plan is installed.
+func (st *treeState) resetSizeSeen() {
+	if st.sizeSeen == nil {
+		st.sizeSeen = make([][]bool, len(st.verts))
+	}
+	for l, v := range st.verts {
+		kids := len(st.tree.Children(v))
+		if cap(st.sizeSeen[l]) < kids {
+			st.sizeSeen[l] = make([]bool, kids)
+			continue
+		}
+		st.sizeSeen[l] = st.sizeSeen[l][:kids]
+		for i := range st.sizeSeen[l] {
+			st.sizeSeen[l][i] = false
+		}
+	}
+}
+
+// resetLightSeen (re)arms the one-shot duplicate filters for a light flood.
+// Called only when a fault plan is installed.
+func (st *treeState) resetLightSeen() {
+	if st.lightSeen == nil {
+		st.lightSeen = make([]bool, len(st.verts))
+		return
+	}
+	for l := range st.lightSeen {
+		st.lightSeen[l] = false
+	}
+}
+
+// dupSize reports whether a size report from child c of verts[l] was already
+// consumed this convergecast, marking it consumed otherwise. Always false
+// when no fault plan is set (sizeSeen stays nil).
+func (st *treeState) dupSize(l, c int) bool {
+	if st.sizeSeen == nil {
+		return false
+	}
+	for i, x := range st.tree.Children(st.verts[l]) {
+		if x == c {
+			if st.sizeSeen[l][i] {
+				return true
+			}
+			st.sizeSeen[l][i] = true
+			return false
+		}
+	}
+	return true // not a current child: stale duplicate, drop it
+}
+
+// dupLight reports whether verts[l]'s single expected flood message was
+// already consumed, marking it consumed otherwise. Always false when no
+// fault plan is set (lightSeen stays nil).
+func (st *treeState) dupLight(l int) bool {
+	if st.lightSeen == nil {
+		return false
+	}
+	if st.lightSeen[l] {
+		return true
+	}
+	st.lightSeen[l] = true
+	return false
 }
 
 // l returns v's local index; v must be a member.

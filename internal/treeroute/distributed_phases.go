@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
 )
 
 // Message kinds. Every payload carries its tree index t in W0; word counts
@@ -82,9 +83,18 @@ func (b *distBuilder) phaseLocalRoots() error {
 			}
 			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
+			// Each vertex receives exactly one kindRoot per tree; a second
+			// receipt is a faulty re-delivery and must not re-charge or
+			// re-flood.
 			if st.inU[l] {
+				if st.virtParent[l] != graph.NoVertex {
+					continue
+				}
 				st.virtParent[l] = congest.WordInt(p.W1)
 				ctx.Mem().Charge(1)
+				continue
+			}
+			if st.localRoot[l] != graph.NoVertex {
 				continue
 			}
 			st.localRoot[l] = congest.WordInt(p.W1)
@@ -104,6 +114,9 @@ func (b *distBuilder) phaseLocalSizes() error {
 		for l, v := range st.verts {
 			st.pending[l] = len(st.tree.Children(v))
 			st.acc[l] = 1
+		}
+		if b.sim.FaultsEnabled() {
+			st.resetSizeSeen()
 		}
 	}
 	complete := func(st *treeState, v, l int, ctx *congest.Ctx) {
@@ -140,6 +153,11 @@ func (b *distBuilder) phaseLocalSizes() error {
 			}
 			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
+			// The pending countdown tolerates exactly one report per child;
+			// drop faulty re-deliveries.
+			if st.dupSize(l, m.From) {
+				continue
+			}
 			st.acc[l] += congest.WordInt(p.W1)
 			st.pending[l]--
 			if st.pending[l] == 0 {
@@ -233,6 +251,9 @@ func (b *distBuilder) phaseSizesDown() error {
 			st.acc[l] = 1
 			st.kicked[l] = false
 		}
+		if b.sim.FaultsEnabled() {
+			st.resetSizeSeen()
+		}
 	}
 	complete := func(st *treeState, v, l int, ctx *congest.Ctx) {
 		if st.inU[l] {
@@ -278,6 +299,9 @@ func (b *distBuilder) phaseSizesDown() error {
 			}
 			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
+			if st.dupSize(l, m.From) {
+				continue
+			}
 			size := congest.WordInt(p.W1)
 			// Tie-break toward the smaller child id so the choice is
 			// independent of report arrival order (and matches the
@@ -314,6 +338,11 @@ func (b *distBuilder) phaseLocalLight() error {
 			}, 3+lightWords(list))
 		}
 	}
+	if b.sim.FaultsEnabled() {
+		for _, st := range b.ts {
+			st.resetLightSeen()
+		}
+	}
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
 	return b.runPhase("local-light", initial, func(v int, ctx *congest.Ctx) {
 		for _, st := range b.ts {
@@ -340,6 +369,9 @@ func (b *distBuilder) phaseLocalLight() error {
 			}
 			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
+			if st.dupLight(l) {
+				continue
+			}
 			light := congest.WordBool(p.W1)
 			k := congest.WordInt(p.W2)
 			// The received tail is engine-owned; decode into a fresh list
@@ -438,6 +470,11 @@ func (b *distBuilder) phaseGlobalLight() {
 // down its local tree; every vertex's final list is the portal's global list
 // followed by its own local list.
 func (b *distBuilder) phaseLightDown() error {
+	if b.sim.FaultsEnabled() {
+		for _, st := range b.ts {
+			st.resetLightSeen()
+		}
+	}
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
 	return b.runPhase("light-down", initial, func(v int, ctx *congest.Ctx) {
 		for _, st := range b.ts {
@@ -471,7 +508,7 @@ func (b *distBuilder) phaseLightDown() error {
 			}
 			st := b.ts[congest.WordInt(p.W0)]
 			l := st.l(v)
-			if st.inU[l] {
+			if st.inU[l] || st.dupLight(l) {
 				continue
 			}
 			k := congest.WordInt(p.W1)
@@ -578,6 +615,11 @@ func (b *distBuilder) phaseLocalDFS() error {
 			case kindIdx:
 				st := b.ts[congest.WordInt(p.W0)]
 				l := st.l(v)
+				// Sibling indices are 1-based, so a non-zero sibIdx means
+				// this is a faulty re-delivery.
+				if st.sibIdx[l] != 0 {
+					continue
+				}
 				st.sibIdx[l] = congest.WordInt(p.W1)
 				ctx.Mem().Charge(1)
 				maybeSendAdd(st, v, l, ctx)
@@ -601,9 +643,22 @@ func (b *distBuilder) phaseLocalDFS() error {
 				st := b.ts[congest.WordInt(p.W0)]
 				l := st.l(v)
 				if st.sibIdx[l] == 0 {
+					// Per-edge FIFO delivery puts kindIdx first even under
+					// faults, unless the index was lost outright (exhausted
+					// retry budget); then the phase fails to converge and the
+					// add is moot.
+					if b.sim.FaultsEnabled() {
+						continue
+					}
 					panic(fmt.Sprintf("treeroute: vertex %d got prefix add before its index (tree %d)", v, congest.WordInt(p.W0)))
 				}
 				iter := congest.WordInt(p.W1)
+				// One add arrives per iteration; a set mask bit means a
+				// faulty re-delivery (directly, or relayed by a duplicated
+				// kindAdd).
+				if st.addMask[l]&(1<<iter) != 0 {
+					continue
+				}
 				tz := bits.TrailingZeros(uint(st.sibIdx[l]))
 				if iter < tz {
 					st.lowSum[l] += congest.WordInt(p.W2)
@@ -616,6 +671,9 @@ func (b *distBuilder) phaseLocalDFS() error {
 			case kindRange:
 				st := b.ts[congest.WordInt(p.W0)]
 				l := st.l(v)
+				if st.haveQ[l] {
+					continue // faulty re-delivery; one range per vertex
+				}
 				st.qShift[l] = congest.WordInt(p.W1)
 				st.haveQ[l] = true
 				ctx.Mem().Charge(1)
@@ -719,7 +777,9 @@ func (b *distBuilder) stepShiftsDown(v int, ctx *congest.Ctx) {
 		}
 		st := b.ts[congest.WordInt(p.W0)]
 		l := st.l(v)
-		if st.inU[l] {
+		// finalIn is at least 1 once set (localIn >= 1, shift >= 0), so a
+		// non-zero value marks a faulty re-delivery of the shift flood.
+		if st.inU[l] || st.finalIn[l] != 0 {
 			continue
 		}
 		b.finalizeShift(st, l, congest.WordInt(p.W1), ctx)

@@ -26,6 +26,12 @@ type Config struct {
 	// series during the build (see NewTracer). Tracing is observational:
 	// the scheme and Report are identical with or without it.
 	Trace *Tracer
+	// Faults, when non-nil, injects the given deterministic fault schedule
+	// into the simulated network: the construction then runs over lossy,
+	// slow, duplicating, crashing links, and the Report's cost counters and
+	// Faults field measure what that robustness cost. Nil (or a zero plan)
+	// is exactly the clean run.
+	Faults *FaultPlan
 }
 
 // Report summarises the distributed construction's cost in the CONGEST
@@ -48,12 +54,20 @@ type Report struct {
 
 	// PhaseRounds breaks Rounds down by construction phase.
 	PhaseRounds map[string]int64
+
+	// Faults aggregates what the configured fault plan did to the build;
+	// zero when Config.Faults was nil.
+	Faults FaultReport
 }
 
 // Path is a routed walk through the network.
 type Path struct {
 	Nodes  []int
 	Weight float64
+	// Degraded marks a packet-network delivery that was rerouted around at
+	// least one crashed node: the walk is still valid, but its stretch may
+	// exceed the clean 4K-3 bound. Always false for Scheme.Route paths.
+	Degraded bool
 }
 
 // Hops returns the number of links crossed.
@@ -82,6 +96,9 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 	if rec := cfg.Trace.recorder(); rec != nil {
 		simOpts = append(simOpts, congest.WithTrace(rec))
 	}
+	if cfg.Faults != nil {
+		simOpts = append(simOpts, congest.WithFaults(cfg.Faults.internal()))
+	}
 	sim := congest.New(net.g, simOpts...)
 	cfg.Trace.recorder().Attach(sim)
 	s, err := core.Build(sim, core.Options{
@@ -109,6 +126,7 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 			HopsetArboricity:   s.Stats.HopsetArbor,
 			BetaRealised:       s.Stats.BetaRealised,
 			PhaseRounds:        s.Stats.PhaseRounds,
+			Faults:             publicFaultReport(sim.FaultCounters()),
 		},
 	}, nil
 }
@@ -155,13 +173,14 @@ func (s *Scheme) Serve() *PacketNetwork {
 }
 
 // Send injects a packet at src addressed to dst and returns its delivery
-// path.
+// path. Under node crashes the path may be Degraded (rerouted around the
+// failures) rather than an error; see PacketNetwork.Crash.
 func (p *PacketNetwork) Send(src, dst int) (Path, error) {
 	d, err := p.inner.Send(src, dst)
 	if err != nil {
 		return Path{}, err
 	}
-	return Path{Nodes: d.Path}, nil
+	return Path{Nodes: d.Path, Degraded: d.Degraded}, nil
 }
 
 // Close stops all forwarding goroutines and waits for them.
@@ -174,6 +193,9 @@ type TreeConfig struct {
 	// Trace, when non-nil, records per-phase spans and a per-round time
 	// series during the build (see NewTracer).
 	Trace *Tracer
+	// Faults, when non-nil, injects a deterministic fault schedule into the
+	// simulated network (see Config.Faults).
+	Faults *FaultPlan
 }
 
 // TreeReport summarises a tree-routing construction.
@@ -185,6 +207,8 @@ type TreeReport struct {
 	Portals       int
 	MaxTableWords int
 	MaxLabelWords int
+	// Faults aggregates what the configured fault plan did to the build.
+	Faults FaultReport
 }
 
 // TreeScheme is an exact compact routing scheme for a tree embedded in a
@@ -206,6 +230,9 @@ func BuildTree(net *Network, tree *Tree, cfg TreeConfig) (*TreeScheme, error) {
 	if rec := cfg.Trace.recorder(); rec != nil {
 		simOpts = append(simOpts, congest.WithTrace(rec))
 	}
+	if cfg.Faults != nil {
+		simOpts = append(simOpts, congest.WithFaults(cfg.Faults.internal()))
+	}
 	sim := congest.New(net.g, simOpts...)
 	cfg.Trace.recorder().Attach(sim)
 	res, err := treeroute.BuildDistributed(sim, []*graph.Tree{tree.t},
@@ -224,6 +251,7 @@ func BuildTree(net *Network, tree *Tree, cfg TreeConfig) (*TreeScheme, error) {
 			Portals:       res.Portals[0],
 			MaxTableWords: res.Schemes[0].MaxTableWords(),
 			MaxLabelWords: res.Schemes[0].MaxLabelWords(),
+			Faults:        publicFaultReport(sim.FaultCounters()),
 		},
 	}, nil
 }
@@ -252,6 +280,9 @@ func BuildTrees(net *Network, trees []*Tree, cfg TreeConfig) ([]*TreeScheme, Tre
 	if rec := cfg.Trace.recorder(); rec != nil {
 		simOpts = append(simOpts, congest.WithTrace(rec))
 	}
+	if cfg.Faults != nil {
+		simOpts = append(simOpts, congest.WithFaults(cfg.Faults.internal()))
+	}
 	sim := congest.New(net.g, simOpts...)
 	cfg.Trace.recorder().Attach(sim)
 	res, err := treeroute.BuildDistributed(sim, inner,
@@ -264,6 +295,7 @@ func BuildTrees(net *Network, trees []*Tree, cfg TreeConfig) ([]*TreeScheme, Tre
 		Messages:   sim.Messages(),
 		PeakMemory: sim.PeakMemory(),
 		AvgMemory:  sim.AvgPeakMemory(),
+		Faults:     publicFaultReport(sim.FaultCounters()),
 	}
 	out := make([]*TreeScheme, len(trees))
 	for i := range trees {
