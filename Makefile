@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline race bench bench-json bench-diff bench-smoke table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline race bench bench-json bench-diff bench-smoke metrics-smoke table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -28,9 +28,10 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrent engine and the per-round goroutine
-# pools (the packages where a data race could actually hide).
+# pools (the packages where a data race could actually hide), plus the
+# lock-free metrics registry whose histograms take concurrent writers.
 race:
-	$(GO) test -race ./internal/congest/... ./internal/treeroute/... ./internal/hopset/... ./internal/core/...
+	$(GO) test -race ./internal/congest/... ./internal/treeroute/... ./internal/hopset/... ./internal/core/... ./internal/obs/...
 
 # Full test run with the output captured (the repository's test record).
 test-record:
@@ -79,6 +80,13 @@ bench-smoke:
 	  $(GO) test -bench '$(HANDLER_BENCHES)' -benchtime 1x -benchmem ./internal/hopset ./internal/core ./internal/treeroute; } \
 	| $(GO) run ./cmd/benchdiff -emit -tag ci-smoke > /tmp/bench-smoke.json
 	$(GO) run ./cmd/benchdiff -old /tmp/bench-smoke.json -new /tmp/bench-smoke.json
+
+# End-to-end check of the live metrics pipeline: run a small routebench
+# sweep with -pprof on an ephemeral port, scrape /metrics during
+# -pprof-hold, and validate the exposition (format + required families)
+# with cmd/promcheck.
+metrics-smoke:
+	./scripts/metrics-smoke.sh
 
 # Regenerate the paper's tables and sweeps (EXPERIMENTS.md).
 table1:

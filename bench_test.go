@@ -20,6 +20,7 @@ import (
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/hopset"
 	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/treeroute"
 )
 
@@ -31,6 +32,7 @@ func BenchmarkTable1(b *testing.B) {
 	for _, k := range []int{2, 3} {
 		for _, scheme := range []string{"tz", "lp15", "en16b", "paper"} {
 			b.Run(fmt.Sprintf("k=%d/%s", k, scheme), func(b *testing.B) {
+				reg := obs.NewRegistry()
 				var last metrics.SchemeRow
 				for i := 0; i < b.N; i++ {
 					rows, err := metrics.RunTable1(metrics.Table1Config{
@@ -40,6 +42,7 @@ func BenchmarkTable1(b *testing.B) {
 						Seed:    1,
 						Pairs:   100,
 						Schemes: []string{scheme},
+						Metrics: reg,
 					})
 					if err != nil {
 						b.Fatal(err)
@@ -51,6 +54,14 @@ func BenchmarkTable1(b *testing.B) {
 				b.ReportMetric(float64(last.LabelWords), "label-words")
 				b.ReportMetric(last.Stretch.Max, "stretch-max")
 				b.ReportMetric(float64(last.PeakMem), "mem-words")
+				// Lookup latency percentiles over every Route call of the run.
+				// The "-ns" suffix marks them host-measured for bench-diff:
+				// compared with tolerance, not exactly (see internal/benchfmt).
+				if s := reg.Histogram(metrics.LookupHistogram, 1e-9).Snapshot(); s.Count > 0 {
+					b.ReportMetric(float64(s.Quantile(0.5)), "p50-ns")
+					b.ReportMetric(float64(s.Quantile(0.99)), "p99-ns")
+					b.ReportMetric(float64(s.Quantile(0.999)), "p999-ns")
+				}
 			})
 		}
 	}

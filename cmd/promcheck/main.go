@@ -1,0 +1,67 @@
+// Command promcheck validates Prometheus text exposition format
+// (v0.0.4) on stdin and asserts that required metric families are
+// present. It is the CI half of the metrics smoke test: curl /metrics
+// into promcheck and the pipeline fails on malformed exposition or a
+// missing family.
+//
+// Usage:
+//
+//	curl -s localhost:6060/metrics | promcheck -require congest_rounds_total -require route_lookup_seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lowmemroute/internal/obs"
+)
+
+// requireList collects repeated -require flags.
+type requireList []string
+
+func (r *requireList) String() string { return fmt.Sprint(*r) }
+
+func (r *requireList) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	var required requireList
+	flag.Var(&required, "require", "metric family that must be present (repeatable)")
+	quiet := flag.Bool("q", false, "suppress the family listing on success")
+	flag.Parse()
+
+	fams, err := obs.ParsePrometheus(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: invalid exposition: %v\n", err)
+		os.Exit(1)
+	}
+	if len(fams) == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: no metric families on stdin")
+		os.Exit(1)
+	}
+	missing := 0
+	for _, name := range required {
+		if _, ok := fams[name]; !ok {
+			fmt.Fprintf(os.Stderr, "promcheck: required family %q missing\n", name)
+			missing++
+		}
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	if !*quiet {
+		names := make([]string, 0, len(fams))
+		for name := range fams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			f := fams[name]
+			fmt.Printf("%-40s %-9s %d samples\n", name, f.Type, f.Samples)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lowmemroute/internal/cliutil"
 	"lowmemroute/internal/congest"
@@ -29,6 +30,7 @@ import (
 	"lowmemroute/internal/faults"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/trace"
 )
 
@@ -44,7 +46,9 @@ func main() {
 
 		tracePath   = flag.String("trace", "", "write a trace of the paper scheme's builds to this file ('-' = stdout); covers the table1 and stretch sweeps")
 		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof, /debug/metrics, and Prometheus /metrics on this address (e.g. localhost:6060)")
+		pprofHold   = flag.Duration("pprof-hold", 0, "keep the process (and its -pprof server) alive this long after the run, so scrapers can collect the final state")
+		progress    = flag.Duration("progress", 0, "print a progress line (phase, rounds, msgs, heap, ETA) to stderr at this interval; 0 disables")
 
 		faultSpec = flag.String("faults", "", "inject faults into the paper scheme's build, e.g. drop=0.05,delay=2,dup=0.01,seed=7,crash=3,17 (table1 and stretch sweeps)")
 		strict    = flag.Bool("strict", false, "exit non-zero when any sampled pair fails to route")
@@ -60,11 +64,13 @@ func main() {
 		plan = p
 	}
 
+	reg := obs.NewRegistry()
 	if *pprofAddr != "" {
-		if err := cliutil.StartPprof(*pprofAddr); err != nil {
+		if _, err := cliutil.StartPprof(*pprofAddr, reg); err != nil {
 			fatalf("pprof: %v", err)
 		}
 	}
+	stopProgress := cliutil.StartProgress(os.Stderr, reg, *progress)
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		if err := cliutil.CheckTraceFormat(*traceFormat); err != nil {
@@ -95,28 +101,50 @@ func main() {
 	failures := 0
 	switch *sweep {
 	case "table1":
-		failures = runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter, rec, plan)
+		failures = runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter, rec, plan, reg)
 	case "k":
 		if plan != nil && !plan.Empty() {
 			fatalf("-faults supports the table1 and stretch sweeps only")
 		}
 		runMemorySweep(graph.Family(*family), ns, ks, *seed)
 	case "stretch":
-		failures = runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs, rec, plan)
+		failures = runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs, rec, plan, reg)
 	default:
 		fatalf("unknown sweep %q", *sweep)
 	}
+	stopProgress()
+	printLookupLatency(reg)
 	if rec != nil {
 		if err := cliutil.WriteTrace(rec, *tracePath, *traceFormat); err != nil {
 			fatalf("trace: %v", err)
 		}
+	}
+	if *pprofHold > 0 && *pprofAddr != "" {
+		fmt.Fprintf(os.Stderr, "pprof: holding for %s\n", *pprofHold)
+		time.Sleep(*pprofHold)
 	}
 	if *strict && failures > 0 {
 		fatalf("%d sampled pairs failed to route (-strict)", failures)
 	}
 }
 
-func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string, rec *trace.Recorder, plan *faults.Plan) int {
+// printLookupLatency summarises the route_lookup_seconds histogram when any
+// lookups were recorded: count plus exact-rank p50/p90/p99/p999 and max.
+// Latencies are host wall times, so the summary goes to stderr with the
+// other host-side diagnostics — stdout stays bit-identical across runs.
+func printLookupLatency(reg *obs.Registry) {
+	s := reg.Histogram(metrics.LookupHistogram, 1e-9).Snapshot()
+	if s.Count == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "\nlookup latency (%d lookups): p50=%s p90=%s p99=%s p999=%s max=%s\n",
+		s.Count,
+		time.Duration(s.Quantile(0.5)), time.Duration(s.Quantile(0.9)),
+		time.Duration(s.Quantile(0.99)), time.Duration(s.Quantile(0.999)),
+		time.Duration(s.Max))
+}
+
+func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes []string, rec *trace.Recorder, plan *faults.Plan, reg *obs.Registry) int {
 	fmt.Printf("Table 1: distributed compact routing schemes (%s)\n\n", family)
 	headers := []string{"n", "k", "scheme", "rounds", "messages", "table(w)", "label(w)", "stretch max", "stretch avg", "mem peak(w)", "mem avg(w)"}
 	var rows [][]string
@@ -127,7 +155,7 @@ func runTable1(family graph.Family, ns, ks []int, seed int64, pairs int, schemes
 		for _, k := range ks {
 			res, err := metrics.RunTable1(metrics.Table1Config{
 				Family: family, N: n, K: k, Seed: seed, Pairs: pairs, Schemes: schemes,
-				Trace: rec, Faults: plan,
+				Trace: rec, Faults: plan, Metrics: reg,
 			})
 			if err != nil {
 				fatalf("n=%d k=%d: %v", n, k, err)
@@ -194,7 +222,7 @@ func runMemorySweep(family graph.Family, ns, ks []int, seed int64) {
 	fmt.Printf("\nexpected shape: paper memory shrinks with k (Õ(n^{1/k})); en16b stays Ω(√n)\n")
 }
 
-func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int, rec *trace.Recorder, plan *faults.Plan) int {
+func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs int, rec *trace.Recorder, plan *faults.Plan, reg *obs.Registry) int {
 	const buckets = 12
 	const width = 0.5
 	totalFailures := 0
@@ -204,7 +232,7 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 			if err != nil {
 				fatalf("generate: %v", err)
 			}
-			simOpts := []congest.Option{congest.WithSeed(seed)}
+			simOpts := []congest.Option{congest.WithSeed(seed), congest.WithMetrics(reg)}
 			if rec != nil {
 				simOpts = append(simOpts, congest.WithTrace(rec))
 			}
@@ -214,7 +242,7 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 			sim := congest.New(g, simOpts...)
 			rec.Attach(sim)
 			sp := rec.Begin(fmt.Sprintf("paper[n=%d,k=%d]", n, k))
-			s, err := core.Build(sim, core.Options{K: k, Seed: seed, Trace: rec})
+			s, err := core.Build(sim, core.Options{K: k, Seed: seed, Trace: rec, Metrics: reg})
 			sp.End()
 			if err != nil {
 				fatalf("build: %v", err)

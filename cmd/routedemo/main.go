@@ -29,15 +29,22 @@ func main() {
 
 		tracePath   = flag.String("trace", "", "write a trace of the build to this file ('-' = stdout)")
 		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof, /debug/metrics and /metrics on this address (e.g. localhost:6060)")
+		progress    = flag.Duration("progress", 0, "print a live progress line to stderr at this interval (e.g. 2s)")
 	)
 	flag.Parse()
 
+	// routedemo deliberately sticks to the facade package: the registry comes
+	// from lowmemroute.NewMetrics and only its internal handle feeds the
+	// pprof server and progress reporter.
+	met := lowmemroute.NewMetrics()
 	if *pprofAddr != "" {
-		if err := cliutil.StartPprof(*pprofAddr); err != nil {
+		if _, err := cliutil.StartPprof(*pprofAddr, met.Registry()); err != nil {
 			fail(err)
 		}
 	}
+	stopProgress := cliutil.StartProgress(os.Stderr, met.Registry(), *progress)
+	defer stopProgress()
 	var tracer *lowmemroute.Tracer
 	if *tracePath != "" {
 		if err := cliutil.CheckTraceFormat(*traceFormat); err != nil {
@@ -57,7 +64,7 @@ func main() {
 	}
 	fmt.Printf("network: %s, %d nodes, %d links\n", *family, net.Nodes(), net.Links())
 
-	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: *k, Seed: *seed, Trace: tracer})
+	scheme, err := lowmemroute.Build(net, lowmemroute.Config{K: *k, Seed: *seed, Trace: tracer, Metrics: met})
 	if err != nil {
 		fail(err)
 	}
@@ -100,6 +107,13 @@ func main() {
 		fmt.Printf("route %d -> %d: %d hops, weight %.0f (exact %.0f, stretch %.2f)\n",
 			src, dst, path.Hops(), path.Weight, exact, stretch)
 		fmt.Printf("  %v\n", path.Nodes)
+	}
+
+	// Host wall times, so the summary goes to stderr with the other
+	// host-side diagnostics — stdout stays deterministic.
+	if lat := met.LookupLatency(); lat.Count > 0 {
+		fmt.Fprintf(os.Stderr, "\nlookup latency (%d lookups): p50=%s p99=%s max=%s\n",
+			lat.Count, lat.P50, lat.P99, lat.Max)
 	}
 }
 

@@ -20,10 +20,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lowmemroute/internal/cliutil"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/trace"
 )
 
@@ -38,7 +40,9 @@ func main() {
 
 		tracePath   = flag.String("trace", "", "write a trace of the paper scheme's builds to this file ('-' = stdout); covers the table2 sweep")
 		traceFormat = flag.String("trace-format", "json", "trace export format: "+cliutil.TraceFormats)
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and /debug/metrics on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof, /debug/metrics and /metrics on this address (e.g. localhost:6060)")
+		pprofHold   = flag.Duration("pprof-hold", 0, "keep the -pprof server up this long after the sweep finishes")
+		progress    = flag.Duration("progress", 0, "print a live progress line to stderr at this interval (e.g. 2s)")
 	)
 	flag.Parse()
 
@@ -46,11 +50,13 @@ func main() {
 	if err != nil {
 		fatalf("bad -n: %v", err)
 	}
+	reg := obs.NewRegistry()
 	if *pprofAddr != "" {
-		if err := cliutil.StartPprof(*pprofAddr); err != nil {
+		if _, err := cliutil.StartPprof(*pprofAddr, reg); err != nil {
 			fatalf("pprof: %v", err)
 		}
 	}
+	stopProgress := cliutil.StartProgress(os.Stderr, reg, *progress)
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		if err := cliutil.CheckTraceFormat(*traceFormat); err != nil {
@@ -64,7 +70,7 @@ func main() {
 
 	switch *sweep {
 	case "table2":
-		runTable2(graph.Family(*family), ns, *tree, *seed, *pairs, rec)
+		runTable2(graph.Family(*family), ns, *tree, *seed, *pairs, rec, reg)
 	case "n":
 		runRoundsSweep(graph.Family(*family), ns, *seed)
 	case "multitree":
@@ -74,21 +80,26 @@ func main() {
 	default:
 		fatalf("unknown sweep %q", *sweep)
 	}
+	stopProgress()
 	if rec != nil {
 		if err := cliutil.WriteTrace(rec, *tracePath, *traceFormat); err != nil {
 			fatalf("trace: %v", err)
 		}
 	}
+	if *pprofAddr != "" && *pprofHold > 0 {
+		fmt.Fprintf(os.Stderr, "pprof: holding for %s\n", *pprofHold)
+		time.Sleep(*pprofHold)
+	}
 }
 
-func runTable2(family graph.Family, ns []int, treeKind string, seed int64, pairs int, rec *trace.Recorder) {
+func runTable2(family graph.Family, ns []int, treeKind string, seed int64, pairs int, rec *trace.Recorder, reg *obs.Registry) {
 	fmt.Printf("Table 2: distributed exact tree-routing schemes (%s, %s spanning trees)\n\n", family, treeKind)
 	headers := []string{"n", "tree height", "D", "scheme", "rounds", "messages", "table(w)", "label(w)", "header(w)", "mem peak(w)", "mem avg(w)", "exact"}
 	var rows [][]string
 	for _, n := range ns {
 		res, err := metrics.RunTable2(metrics.Table2Config{
 			Family: family, N: n, TreeKind: treeKind, Seed: seed, Pairs: pairs,
-			Trace: rec,
+			Trace: rec, Metrics: reg,
 		})
 		if err != nil {
 			fatalf("n=%d: %v", n, err)

@@ -8,10 +8,12 @@
 // Wall-clock and byte columns are compared within a tolerance (they measure
 // the host); custom metrics emitted with b.ReportMetric - rounds, memory
 // words, message counts - are simulation outputs and must match exactly: a
-// drift there is a behaviour change, not a perf regression. Rows measured
-// with a single iteration (-benchtime 1x) skip the ns/op comparison
-// entirely - a one-shot wall time is not a statistic - but keep their
-// allocation columns and exact simulation metrics.
+// drift there is a behaviour change, not a perf regression. The exception is
+// metric units ending in "-ns" (schema v2): those are host-measured latency
+// percentiles, compared with the same relative tolerance as ns/op. Rows
+// measured with a single iteration (-benchtime 1x) skip the ns/op and "-ns"
+// metric comparisons entirely - a one-shot wall time is not a statistic -
+// but keep their allocation columns and exact simulation metrics.
 package benchfmt
 
 import (
@@ -26,7 +28,13 @@ import (
 )
 
 // Schema is the snapshot schema identifier; bump on incompatible change.
-const Schema = "lowmemroute.bench/v1"
+// v2 adds host-measured "-ns" metric units (latency percentiles) that diff
+// with tolerance instead of exactly; v1 snapshots read unchanged.
+const Schema = "lowmemroute.bench/v2"
+
+// SchemaV1 is the previous schema version, still accepted by ReadJSON: a v1
+// snapshot simply carries no "-ns" metrics.
+const SchemaV1 = "lowmemroute.bench/v1"
 
 // Benchmark is one benchmark result row.
 type Benchmark struct {
@@ -157,8 +165,10 @@ func ReadJSON(r io.Reader) (*Snapshot, error) {
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("benchfmt: decode: %w", err)
 	}
-	if s.Schema != Schema {
-		return nil, fmt.Errorf("benchfmt: unsupported schema %q (want %q)", s.Schema, Schema)
+	switch s.Schema {
+	case Schema, SchemaV1:
+	default:
+		return nil, fmt.Errorf("benchfmt: unsupported schema %q (want %q or %q)", s.Schema, Schema, SchemaV1)
 	}
 	return &s, nil
 }
@@ -250,7 +260,10 @@ func compare(o, n *Benchmark, opts DiffOptions) []string {
 	check("B/op", o.BytesOp, n.BytesOp)
 	check("allocs/op", o.AllocsOp, n.AllocsOp)
 	// Simulation metrics are exact outputs of a deterministic engine: any
-	// drift is a behaviour change and fails regardless of direction.
+	// drift is a behaviour change and fails regardless of direction. Units
+	// ending in "-ns" are the exception - host-measured latency percentiles
+	// (p50-ns, p99-ns, ...) that wobble with the machine like ns/op does, so
+	// they share its tolerance and its single-iteration exemption.
 	units := make([]string, 0, len(o.Metrics))
 	for u := range o.Metrics {
 		units = append(units, u)
@@ -262,12 +275,23 @@ func compare(o, n *Benchmark, opts DiffOptions) []string {
 			fails = append(fails, fmt.Sprintf("metric %s disappeared", u))
 			continue
 		}
-		if ov := o.Metrics[u]; nv != ov {
+		ov := o.Metrics[u]
+		if HostMeasured(u) {
+			if o.Iters > 1 && n.Iters > 1 {
+				check(u, ov, nv)
+			}
+			continue
+		}
+		if nv != ov {
 			fails = append(fails, fmt.Sprintf("metric %s changed %g -> %g (simulation output must be identical)", u, ov, nv))
 		}
 	}
 	return fails
 }
+
+// HostMeasured reports whether a custom metric unit carries a host wall-time
+// measurement ("-ns" suffix) rather than a deterministic simulation output.
+func HostMeasured(unit string) bool { return strings.HasSuffix(unit, "-ns") }
 
 // FormatDeltas renders a diff report; ok reports whether every delta passed.
 func FormatDeltas(deltas []Delta) (string, bool) {

@@ -161,6 +161,44 @@ func TestDiffSingleIterationSkipsNs(t *testing.T) {
 	}
 }
 
+func TestDiffHostMeasuredMetricsUseTolerance(t *testing.T) {
+	// "-ns" units are host-measured latency percentiles: they diff like
+	// ns/op (relative threshold), not like simulation metrics (exact).
+	old := snap(bench("B", 1000, -1, -1, map[string]float64{"p99-ns": 500}))
+	within := snap(bench("B", 1000, -1, -1, map[string]float64{"p99-ns": 600}))
+	deltas := Diff(old, within, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 0 {
+		t.Fatalf("within tolerance should pass: %v", deltas[0].Failures)
+	}
+	beyond := snap(bench("B", 1000, -1, -1, map[string]float64{"p99-ns": 700}))
+	deltas = Diff(old, beyond, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "p99-ns") {
+		t.Fatalf("beyond tolerance should fail: %v", deltas[0].Failures)
+	}
+}
+
+func TestDiffHostMeasuredMetricsSkipSingleIteration(t *testing.T) {
+	one := func(p99 float64) Benchmark {
+		b := bench("B", 1000, -1, -1, map[string]float64{"p99-ns": p99})
+		b.Iters = 1
+		return b
+	}
+	deltas := Diff(snap(one(500)), snap(one(5000)), DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 0 {
+		t.Fatalf("single-iteration -ns metrics should be exempt: %v", deltas[0].Failures)
+	}
+}
+
+func TestReadJSONAcceptsV1(t *testing.T) {
+	s, err := ReadJSON(strings.NewReader(`{"schema":"lowmemroute.bench/v1","tag":"old","benchmarks":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tag != "old" {
+		t.Fatalf("tag: %q", s.Tag)
+	}
+}
+
 func TestDiffFailsOnMetricDrift(t *testing.T) {
 	old := snap(bench("B", 1000, -1, -1, map[string]float64{"rounds": 7}))
 	new := snap(bench("B", 900, -1, -1, map[string]float64{"rounds": 8}))

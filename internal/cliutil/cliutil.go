@@ -1,6 +1,7 @@
 // Package cliutil holds the small flag-handling helpers shared by the
 // routebench/treebench/routedemo commands: writing a trace recording in the
-// chosen export format and starting the diagnostics HTTP server.
+// chosen export format, starting the diagnostics HTTP server, and the
+// periodic build-progress reporter.
 package cliutil
 
 import (
@@ -8,6 +9,7 @@ import (
 	"os"
 
 	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/trace"
 )
 
@@ -52,13 +54,16 @@ func WriteTrace(rec *trace.Recorder, path, format string) error {
 	}
 }
 
-// StartPprof starts the diagnostics HTTP server (net/http/pprof plus a
-// /debug/metrics runtime-metrics dump) and prints where it is listening.
-func StartPprof(addr string) error {
-	bound, err := trace.ServePprof(addr)
+// StartPprof starts the diagnostics HTTP server (net/http/pprof, a
+// /debug/metrics runtime-metrics dump, and — when reg is non-nil — the
+// live registry as Prometheus text format under /metrics) and prints where
+// it is listening. The returned shutdown func closes the listener; CLIs
+// that serve until exit may ignore it.
+func StartPprof(addr string, reg *obs.Registry) (func() error, error) {
+	bound, shutdown, err := trace.ServePprof(addr, reg)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ and /debug/metrics\n", bound)
-	return nil
+	fmt.Fprintf(os.Stderr, "pprof: serving http://%s/debug/pprof/ /debug/metrics and /metrics\n", bound)
+	return shutdown, nil
 }

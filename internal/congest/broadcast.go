@@ -33,6 +33,9 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *Broadca
 	if len(msgs) == 0 {
 		return
 	}
+	if s.obs != nil {
+		defer s.obsSyncAll()
+	}
 	if f := s.ensureFaults(); f != nil {
 		s.broadcastFaulty(f, msgs, handle)
 		return
@@ -164,6 +167,9 @@ func (s *Simulator) broadcastFaulty(f *faults.Compiled, msgs []BroadcastMsg, han
 func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m *BroadcastMsg)) {
 	if len(msgs) == 0 {
 		return
+	}
+	if s.obs != nil {
+		defer s.obsSyncAll()
 	}
 	sorted := append([]BroadcastMsg(nil), msgs...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Origin < sorted[j].Origin })

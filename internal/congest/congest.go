@@ -92,6 +92,11 @@ type Simulator struct {
 	// nil check per round.
 	tracer trace.Sink
 
+	// obs, when non-nil, publishes live throughput counters and level
+	// gauges into a metrics registry (WithMetrics); like the tracer it is
+	// strictly observational and costs one nil check per round when off.
+	obs *obsHooks
+
 	// CSR topology over directed edges, compiled by ensureTopology and
 	// rebuilt only when the graph changes shape (topoN/topoM mismatch).
 	topoN, topoM int
@@ -332,6 +337,7 @@ func (s *Simulator) AddRounds(k int64) {
 		if s.tracer != nil {
 			s.emitSample(s.rounds, trace.KindAnalytic, k, 0, 0, 0, faults.Counters{})
 		}
+		s.obsSyncAll()
 	}
 }
 

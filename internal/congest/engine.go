@@ -349,6 +349,12 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 				s.faultCtr.Delta(ctrBefore))
 		}
 
+		if s.obs != nil {
+			s.obsSync(baseRounds+int64(executed), s.messages, s.words)
+			s.obs.queueDepth.Set(int64(pending))
+			s.obs.active.Set(int64(len(s.actList)))
+		}
+
 		// Next round's active list: woken + received, sorted ascending.
 		slices.Sort(next)
 		s.nextList = next
@@ -366,6 +372,7 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	if pending > 0 {
 		s.drainAll()
 	}
+	s.obsRunEnd()
 	return executed
 }
 

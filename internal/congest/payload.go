@@ -121,6 +121,20 @@ func (a *wordArena) put(chunk []uint64) {
 	a.mu.Unlock()
 }
 
+// stats reports the arena's parked inventory: free chunks across all size
+// classes and the capacity words they hold. Walks the lists under the
+// mutex, so it is kept off the per-round path (the metrics hooks read it
+// once per Run).
+func (a *wordArena) stats() (chunks, words int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for cls, list := range a.free {
+		chunks += int64(len(list))
+		words += int64(len(list)) << uint(cls)
+	}
+	return chunks, words
+}
+
 // recycleExt harvests the arena chunks of a delivered message batch, nil-ing
 // each Ext as it goes so a chunk can never be double-freed. Ext is the only
 // pointer in a Message, so callers that truncate the batch afterwards need

@@ -10,6 +10,7 @@ import (
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/hopset"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/treeroute"
 )
 
@@ -534,6 +535,7 @@ func (b *builder) assemble() (*Scheme, error) {
 		q = 1 / math.Sqrt(float64(s)*float64(b.n))
 	}
 	maxOffset := int(math.Sqrt(float64(s)*float64(b.n))*math.Log2(float64(b.n)+1)) + 1
+	b.o.Metrics.SetPhase(obs.Phase{Name: "tree-routing", Done: b.phasesDone, Total: numBuildPhases})
 	sp := b.o.Trace.Begin("tree-routing")
 	before := b.sim.Rounds()
 	res, err := treeroute.BuildDistributed(b.sim, trees, treeroute.DistOptions{
@@ -544,6 +546,8 @@ func (b *builder) assemble() (*Scheme, error) {
 	})
 	b.phaseRounds["tree-routing"] += b.sim.Rounds() - before
 	sp.End()
+	b.phasesDone++
+	b.o.Metrics.SetPhase(obs.Phase{Name: "tree-routing", Done: b.phasesDone, Total: numBuildPhases})
 	if err != nil {
 		return nil, fmt.Errorf("core: tree routing: %w", err)
 	}

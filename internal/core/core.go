@@ -39,6 +39,7 @@ import (
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/hopset"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/trace"
 )
 
@@ -68,7 +69,17 @@ type Options struct {
 	// span tree behind Stats.PhaseRounds) with nested sub-phase spans from
 	// treeroute and hopset. Nil disables span recording at no cost.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live build progress: the current
+	// construction phase (obs.Registry.SetPhase) for the CLI progress
+	// reporter and the /metrics endpoint. Pair it with
+	// congest.WithMetrics on the simulator for the throughput counters.
+	// Nil disables publishing at no cost.
+	Metrics *obs.Registry
 }
+
+// numBuildPhases is the phase count published to Options.Metrics: the five
+// timed phases of Build plus the tree-routing phase run during assemble.
+const numBuildPhases = 6
 
 func (o *Options) withDefaults() Options {
 	out := *o
@@ -147,14 +158,18 @@ func Build(sim *congest.Simulator, opts Options) (*Scheme, error) {
 	return b.assemble()
 }
 
-// timed runs a phase under a trace span and records the simulation rounds
-// it consumed.
+// timed runs a phase under a trace span, records the simulation rounds
+// it consumed, and publishes the phase to the metrics registry so the
+// progress reporter and /metrics can tell where a long build is.
 func (b *builder) timed(name string, phase func() error) error {
+	b.o.Metrics.SetPhase(obs.Phase{Name: name, Done: b.phasesDone, Total: numBuildPhases})
 	sp := b.o.Trace.Begin(name)
 	before := b.sim.Rounds()
 	err := phase()
 	b.phaseRounds[name] += b.sim.Rounds() - before
 	sp.End()
+	b.phasesDone++
+	b.o.Metrics.SetPhase(obs.Phase{Name: name, Done: b.phasesDone, Total: numBuildPhases})
 	return err
 }
 
@@ -187,6 +202,7 @@ type builder struct {
 	cg *clusterGrowth
 
 	phaseRounds map[string]int64
+	phasesDone  int
 }
 
 // hopBudget returns the level-j exploration hop budget

@@ -27,6 +27,13 @@ import (
 // algorithm state — the paper's memory bounds describe the fault-free
 // algorithm, so charging them would skew the clean-run meter comparison.
 // The suffix is the contract: name a buffer "...Seen" only for that role.
+//
+// A third carve-out: allocations inside the argument span of a call into
+// the metrics package (package base name "obs"). Those build observability
+// plumbing — snapshot values, metric names — on the host, outside the
+// simulated vertex's memory, so the paper's bounds don't cover them. The
+// exemption is scoped to the call's argument list; it must not leak to
+// neighbouring allocations.
 func analyzerMeterAccount() *Analyzer {
 	return &Analyzer{
 		Name: "meteraccount",
@@ -142,6 +149,26 @@ func runMeterAccount(p *Pass) {
 			return false
 		}
 
+		// obsSpans collects argument-list ranges of calls into the obs
+		// metrics package; allocations inside them are host-side
+		// observability plumbing, not vertex state.
+		var obsSpans []span
+		ast.Inspect(h.body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && len(call.Args) > 0 && isObsCall(info, call) {
+				obsSpans = append(obsSpans, span{call.Args[0].Pos(), call.Args[len(call.Args)-1].End()})
+			}
+			return true
+		})
+		inObsSpan := func(n ast.Node) bool {
+			for _, s := range obsSpans {
+				if n.Pos() >= s.pos && n.End() <= s.end {
+					return true
+				}
+			}
+			return false
+		}
+
 		charged := make(map[ast.Node]bool) // enclosing funcs known to charge
 		hasCharge := func(fn ast.Node) bool {
 			if v, ok := charged[fn]; ok {
@@ -169,6 +196,9 @@ func runMeterAccount(p *Pass) {
 		report := func(n ast.Node, what string) {
 			if inSeenSpan(n) {
 				return // fault-layer dedup buffer: deliberately unmetered
+			}
+			if inObsSpan(n) {
+				return // argument to an obs metrics call: host-side, unmetered
 			}
 			if hasCharge(enclosingFunc(h.node, n)) {
 				return
@@ -236,6 +266,36 @@ func isSeenBuffer(e ast.Expr) bool {
 			return false
 		}
 	}
+}
+
+// isObsCall reports whether call invokes a function or method of the obs
+// metrics package: a method whose receiver type is declared in a package
+// base-named "obs", or a package-qualified obs.F call. Matching is by
+// package base name, like isCongestNamed, so fixtures resolve identically
+// to the real tree.
+func isObsCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		t := s.Recv()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj != nil && obj.Pkg() != nil && pathBase(obj.Pkg().Path()) == "obs"
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			return pathBase(pn.Imported().Path()) == "obs"
+		}
+	}
+	return false
 }
 
 func isMapOrSlice(t types.Type) bool {

@@ -9,10 +9,26 @@ import (
 	"lowmemroute/internal/core"
 	"lowmemroute/internal/faults"
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/trace"
 	"lowmemroute/internal/treeroute"
 	"lowmemroute/internal/tz"
 )
+
+// LookupHistogram names the per-lookup wall-latency histogram recorded by
+// the experiment drivers (and the facade): nanoseconds in, exposed in
+// seconds.
+const LookupHistogram = "route_lookup_seconds"
+
+// lookupHist fetches (or lazily creates) the lookup-latency histogram of
+// reg; nil registry, nil histogram — the stretch loops then skip timing.
+func lookupHist(reg *obs.Registry) *obs.Histogram {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp(LookupHistogram, "Wall-clock latency of one Route lookup, in seconds.")
+	return reg.Histogram(LookupHistogram, 1e-9)
+}
 
 // SchemeRow is one measured row of the paper's Table 1: a general-graph
 // routing scheme's construction cost and scheme quality on one instance.
@@ -51,6 +67,11 @@ type Table1Config struct {
 	// test); baseline rows always build cleanly so the comparison stays
 	// faulty-paper vs clean-baseline.
 	Faults *faults.Plan
+	// Metrics, when non-nil, receives live engine counters from the
+	// simulated constructions, build-phase progress from the paper scheme,
+	// and the per-lookup latency histogram (LookupHistogram) from every
+	// scheme's stretch measurement.
+	Metrics *obs.Registry
 }
 
 // RunTable1 builds every requested scheme on a fresh copy of the same graph
@@ -81,6 +102,7 @@ func RunTable1(cfg Table1Config) ([]SchemeRow, error) {
 func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error) {
 	row := SchemeRow{Scheme: name, Family: cfg.Family, N: g.N(), K: cfg.K}
 	r := rand.New(rand.NewSource(cfg.Seed + 7))
+	lat := lookupHist(cfg.Metrics)
 	switch name {
 	case "tz":
 		s, err := tz.Build(g, tz.Options{K: cfg.K, Seed: cfg.Seed})
@@ -89,9 +111,9 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		}
 		row.TableWords = s.MaxTableWords()
 		row.LabelWords = s.MaxLabelWords()
-		row.Stretch = MeasureStretch(g, s, cfg.Pairs, r)
+		row.Stretch = MeasureStretchObserved(g, s, cfg.Pairs, r, lat)
 	case "lp15":
-		sim := congest.New(g, congest.WithSeed(cfg.Seed))
+		sim := congest.New(g, congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics))
 		s, err := baseline.BuildLP15(sim, baseline.Options{K: cfg.K, Seed: cfg.Seed})
 		if err != nil {
 			return row, err
@@ -99,9 +121,9 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		fillSim(&row, sim)
 		row.TableWords = s.MaxTableWords()
 		row.LabelWords = s.MaxLabelWords()
-		row.Stretch = MeasureStretch(g, s, cfg.Pairs, r)
+		row.Stretch = MeasureStretchObserved(g, s, cfg.Pairs, r, lat)
 	case "en16b":
-		sim := congest.New(g, congest.WithSeed(cfg.Seed))
+		sim := congest.New(g, congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics))
 		s, err := baseline.BuildEN16b(sim, baseline.Options{K: cfg.K, Seed: cfg.Seed})
 		if err != nil {
 			return row, err
@@ -109,9 +131,9 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		fillSim(&row, sim)
 		row.TableWords = s.MaxTableWords()
 		row.LabelWords = s.MaxLabelWords()
-		row.Stretch = MeasureStretch(g, s, cfg.Pairs, r)
+		row.Stretch = MeasureStretchObserved(g, s, cfg.Pairs, r, lat)
 	case "paper":
-		simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+		simOpts := []congest.Option{congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics)}
 		if cfg.Trace != nil {
 			simOpts = append(simOpts, congest.WithTrace(cfg.Trace))
 		}
@@ -121,7 +143,9 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		sim := congest.New(g, simOpts...)
 		cfg.Trace.Attach(sim)
 		sp := cfg.Trace.Begin(fmt.Sprintf("paper[n=%d,k=%d]", g.N(), cfg.K))
-		s, err := core.Build(sim, core.Options{K: cfg.K, Seed: cfg.Seed, Trace: cfg.Trace})
+		s, err := core.Build(sim, core.Options{
+			K: cfg.K, Seed: cfg.Seed, Trace: cfg.Trace, Metrics: cfg.Metrics,
+		})
 		sp.End()
 		if err != nil {
 			return row, err
@@ -130,7 +154,7 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		row.Faults = sim.FaultCounters()
 		row.TableWords = s.MaxTableWords()
 		row.LabelWords = s.MaxLabelWords()
-		row.Stretch = MeasureStretch(g, s, cfg.Pairs, r)
+		row.Stretch = MeasureStretchObserved(g, s, cfg.Pairs, r, lat)
 	default:
 		return row, fmt.Errorf("unknown scheme %q", name)
 	}
@@ -176,6 +200,9 @@ type Table2Config struct {
 	// Trace, when non-nil, records the paper scheme's construction (one
 	// root span per build, per-phase children, per-round samples).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives live engine counters from the
+	// simulated tree constructions.
+	Metrics *obs.Registry
 }
 
 // RunTable2 builds every requested tree-routing scheme for the same
@@ -227,7 +254,7 @@ func runTreeScheme(name string, g *graph.Graph, tree *graph.Tree, cfg Table2Conf
 		row.LabelWords = s.MaxLabelWords()
 		row.Exact = treeroute.VerifyExact(s, tree, pairs) == nil
 	case "paper-tree":
-		simOpts := []congest.Option{congest.WithSeed(cfg.Seed)}
+		simOpts := []congest.Option{congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics)}
 		if cfg.Trace != nil {
 			simOpts = append(simOpts, congest.WithTrace(cfg.Trace))
 		}
@@ -250,7 +277,7 @@ func runTreeScheme(name string, g *graph.Graph, tree *graph.Tree, cfg Table2Conf
 		row.LabelWords = s.MaxLabelWords()
 		row.Exact = treeroute.VerifyExact(s, tree, pairs) == nil
 	case "en16b-tree":
-		sim := congest.New(g, congest.WithSeed(cfg.Seed))
+		sim := congest.New(g, congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics))
 		s, err := treeroute.BuildBaseline(sim, tree, treeroute.DistOptions{Seed: cfg.Seed})
 		if err != nil {
 			return row, err

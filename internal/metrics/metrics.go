@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/obs"
 )
 
 // WeightedRouter routes between two vertices and reports the weighted length
@@ -29,6 +31,16 @@ type StretchStats struct {
 // MeasureStretch routes k sampled pairs and compares against exact
 // distances computed by Dijkstra on demand.
 func MeasureStretch(g *graph.Graph, router WeightedRouter, pairs int, r *rand.Rand) StretchStats {
+	return MeasureStretchObserved(g, router, pairs, r, nil)
+}
+
+// MeasureStretchObserved is MeasureStretch with per-lookup latency
+// recording: the wall time of each router.Route call lands in lat
+// (recorded in nanoseconds; register the histogram with scale 1e-9 to
+// expose it as route_lookup_seconds). A nil histogram skips the clock
+// reads entirely, so the unobserved path measures nothing it didn't
+// before.
+func MeasureStretchObserved(g *graph.Graph, router WeightedRouter, pairs int, r *rand.Rand, lat *obs.Histogram) StretchStats {
 	var st StretchStats
 	n := g.N()
 	if n < 2 {
@@ -49,7 +61,14 @@ func MeasureStretch(g *graph.Graph, router WeightedRouter, pairs int, r *rand.Ra
 		if u == v {
 			continue
 		}
+		var began time.Time
+		if lat != nil {
+			began = time.Now()
+		}
 		_, w, err := router.Route(u, v)
+		if lat != nil {
+			lat.Record(int64(time.Since(began)))
+		}
 		if err != nil {
 			st.Failures++
 			continue

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: HDR-style log2 octaves split into linear
+// sub-buckets. Values below nSub get a bucket each (exact); a value in
+// octave [2^k, 2^(k+1)) for k >= subBits falls into one of nSub equal
+// sub-ranges of width 2^(k-subBits), so the relative quantization error is
+// bounded by 1/nSub ≈ 3.1% everywhere. The full int64 range needs
+// (62-subBits)*nSub + 2*nSub = 1888 buckets — small enough for a fixed
+// array of atomics, which is what makes Record allocation-free.
+const (
+	subBits    = 5
+	nSub       = 1 << subBits
+	numBuckets = (62-subBits)*nSub + 2*nSub
+)
+
+// bucketIndex maps a recorded value to its bucket. Negative values clamp
+// to bucket 0.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	u := uint64(v)
+	if u < nSub {
+		return int(u)
+	}
+	k := bits.Len64(u) - 1 // 2^k <= u < 2^(k+1), k >= subBits
+	return (k-subBits)*nSub + int(u>>uint(k-subBits))
+}
+
+// bucketLow returns the smallest value mapping to bucket i.
+func bucketLow(i int) int64 {
+	if i < nSub {
+		return int64(i)
+	}
+	k := i/nSub + subBits - 1
+	sub := i - (k-subBits)*nSub // in [nSub, 2*nSub)
+	return int64(sub) << uint(k-subBits)
+}
+
+// bucketHigh returns the largest value mapping to bucket i.
+func bucketHigh(i int) int64 {
+	if i+1 >= numBuckets {
+		return int64(^uint64(0) >> 1)
+	}
+	return bucketLow(i+1) - 1
+}
+
+// Histogram accumulates an integer-valued distribution (typically
+// nanoseconds) into fixed log2/linear buckets. Record is wait-free and
+// allocation-free; Snapshot copies the buckets out for quantile queries
+// and exposition. The zero value is NOT ready — histograms come from
+// Registry.Histogram. All methods are safe on a nil receiver.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	scale  float64 // exposition unit per recorded unit (0 means 1)
+}
+
+func newHistogram(scale float64) *Histogram {
+	return &Histogram{scale: scale}
+}
+
+// Record adds one observation. Negative values clamp to zero.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Scale returns the exposition unit per recorded unit (1 when unset).
+func (h *Histogram) Scale() float64 {
+	if h == nil || h.scale == 0 {
+		return 1
+	}
+	return h.scale
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, safe to query while
+// writers keep recording into the live histogram.
+type HistSnapshot struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	Scale float64
+	// counts holds only the non-zero buckets, sparse, in index order.
+	idx    []int32
+	counts []int64
+}
+
+// Snapshot copies the histogram state out. On a nil histogram it returns
+// an empty snapshot. The snapshot is internally consistent enough for
+// monitoring (writers racing with the copy can skew Count vs bucket totals
+// by in-flight observations); quantiles are computed from the bucket
+// totals themselves, so they are always well-defined.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{Scale: 1}
+	}
+	s := HistSnapshot{
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+		Scale: h.Scale(),
+	}
+	var total int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c != 0 {
+			s.idx = append(s.idx, int32(i))
+			s.counts = append(s.counts, c)
+			total += c
+		}
+	}
+	s.Count = total
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the snapshot under the
+// nearest-rank definition: the upper edge of the bucket containing the
+// ceil(q*count)-th smallest observation, clamped to the recorded maximum
+// (so Quantile(1) is exactly Max). Returns 0 on an empty snapshot.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= rank {
+			hi := bucketHigh(int(s.idx[i]))
+			if hi > s.Max {
+				hi = s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}
+
+// Buckets calls f with each non-empty bucket's inclusive upper edge and
+// its cumulative count (Prometheus le semantics), in ascending order.
+func (s HistSnapshot) Buckets(f func(upper int64, cumulative int64)) {
+	var cum int64
+	for i, c := range s.counts {
+		cum += c
+		f(bucketHigh(int(s.idx[i])), cum)
+	}
+}

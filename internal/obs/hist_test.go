@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Buckets must tile the non-negative integers with no gaps or overlaps.
+func TestBucketLayoutContinuity(t *testing.T) {
+	if bucketLow(0) != 0 {
+		t.Fatalf("bucketLow(0)=%d", bucketLow(0))
+	}
+	for i := 1; i < numBuckets; i++ {
+		lo, prevHi := bucketLow(i), bucketHigh(i-1)
+		if lo != prevHi+1 {
+			t.Fatalf("bucket %d: low=%d but bucket %d high=%d", i, lo, i-1, prevHi)
+		}
+		if bucketHigh(i) < lo {
+			t.Fatalf("bucket %d inverted: [%d,%d]", i, lo, bucketHigh(i))
+		}
+	}
+	// Every bucket's edges map back to the bucket itself.
+	for i := 0; i < numBuckets; i++ {
+		if got := bucketIndex(bucketLow(i)); got != i {
+			t.Fatalf("bucketIndex(low(%d))=%d", i, got)
+		}
+		if got := bucketIndex(bucketHigh(i)); got != i {
+			t.Fatalf("bucketIndex(high(%d))=%d", i, got)
+		}
+	}
+	// Relative width stays under 1/nSub for values past the linear range.
+	for i := nSub; i < numBuckets; i++ {
+		lo := bucketLow(i)
+		width := bucketHigh(i) - lo + 1
+		if width*nSub > lo {
+			t.Fatalf("bucket %d too wide: [%d,%d]", i, lo, bucketHigh(i))
+		}
+	}
+}
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {31, 31}, {32, 32}, {63, 63},
+		{64, 64}, {127, 95}, {128, 96},
+		{1<<62 - 1, bucketIndex(1<<62 - 1)},
+		{1<<63 - 1, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d)=%d want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// quantileOracle is the nearest-rank quantile of the raw observations.
+func quantileOracle(sorted []int64, q float64) int64 {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Histogram quantiles must agree with a sorted-reference oracle up to one
+// bucket's quantization (exact below nSub, ≤1/nSub relative error above),
+// across distributions that straddle bucket boundaries.
+func TestQuantileVsOracle(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform-small":  func(r *rand.Rand) int64 { return r.Int63n(30) },
+		"uniform-wide":   func(r *rand.Rand) int64 { return r.Int63n(1 << 40) },
+		"exponentialish": func(r *rand.Rand) int64 { return int64(1) << uint(r.Intn(50)) },
+		"boundary":       func(r *rand.Rand) int64 { return 64 + r.Int63n(3) - 1 }, // 63..65
+		"constant":       func(r *rand.Rand) int64 { return 12345 },
+	}
+	quantiles := []float64{0, 0.5, 0.9, 0.99, 0.999, 1}
+	for name, gen := range distributions {
+		r := rand.New(rand.NewSource(1))
+		h := newHistogram(1)
+		var vals []int64
+		for i := 0; i < 20000; i++ {
+			v := gen(r)
+			vals = append(vals, v)
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		if s.Count != int64(len(vals)) {
+			t.Fatalf("%s: count=%d want %d", name, s.Count, len(vals))
+		}
+		if s.Max != vals[len(vals)-1] {
+			t.Fatalf("%s: max=%d want %d", name, s.Max, vals[len(vals)-1])
+		}
+		var sum int64
+		for _, v := range vals {
+			sum += v
+		}
+		if s.Sum != sum {
+			t.Fatalf("%s: sum=%d want %d", name, s.Sum, sum)
+		}
+		for _, q := range quantiles {
+			got := s.Quantile(q)
+			want := quantileOracle(vals, q)
+			// The histogram answers with the upper edge of the oracle
+			// value's bucket (clamped to max): never below the oracle,
+			// and within one bucket width above it.
+			idx := bucketIndex(want)
+			hi := bucketHigh(idx)
+			if hi > s.Max {
+				hi = s.Max
+			}
+			if got < want || got > hi {
+				t.Errorf("%s: q=%g got %d, oracle %d (bucket [%d,%d])",
+					name, q, got, want, bucketLow(idx), hi)
+			}
+		}
+		if got := s.Quantile(1); got != s.Max {
+			t.Errorf("%s: Quantile(1)=%d want max %d", name, got, s.Max)
+		}
+	}
+}
+
+func TestSnapshotBucketsCumulative(t *testing.T) {
+	h := newHistogram(1)
+	for _, v := range []int64{1, 1, 100, 5000} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	var uppers []int64
+	var cums []int64
+	s.Buckets(func(u, c int64) { uppers = append(uppers, u); cums = append(cums, c) })
+	if len(uppers) != 3 {
+		t.Fatalf("non-empty buckets=%d want 3", len(uppers))
+	}
+	wantCum := []int64{2, 3, 4}
+	for i := range cums {
+		if cums[i] != wantCum[i] {
+			t.Fatalf("cumulative=%v want %v", cums, wantCum)
+		}
+		if i > 0 && uppers[i] <= uppers[i-1] {
+			t.Fatalf("upper edges not increasing: %v", uppers)
+		}
+	}
+}
+
+func TestRecordNegativeClamps(t *testing.T) {
+	h := newHistogram(1)
+	h.Record(-17)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Quantile(1) != 0 {
+		t.Fatalf("negative record: %+v", s)
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("congest_rounds_total").Add(42)
+	r.SetHelp("congest_rounds_total", "Simulated CONGEST rounds executed.")
+	r.Gauge("congest_queue_depth").Set(7)
+	h := r.Histogram("route_lookup_seconds", 1e-9)
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1µs .. 1ms
+	}
+	r.SetPhase(Phase{Name: "hopset", Done: 2, Total: 6})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	fams, err := ParsePrometheus(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"congest_rounds_total", "congest_queue_depth",
+		"route_lookup_seconds", "build_phase_info",
+	} {
+		f := fams[want]
+		if f == nil || f.Samples == 0 {
+			t.Errorf("family %q missing or empty (got %+v)", want, f)
+		}
+	}
+	if fams["route_lookup_seconds"].Type != "histogram" {
+		t.Errorf("route_lookup_seconds type=%q", fams["route_lookup_seconds"].Type)
+	}
+	if !strings.Contains(out, "congest_rounds_total 42\n") {
+		t.Errorf("counter sample missing:\n%s", out)
+	}
+	if !strings.Contains(out, `route_lookup_seconds_bucket{le="+Inf"} 1000`) {
+		t.Errorf("+Inf bucket missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# HELP congest_rounds_total Simulated CONGEST rounds executed.\n") {
+		t.Errorf("HELP line missing:\n%s", out)
+	}
+	if !strings.Contains(out, `build_phase_info{phase="hopset"} 1`) {
+		t.Errorf("phase info missing:\n%s", out)
+	}
+
+	// Deterministic output for a fixed registry state.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("two expositions of the same state differ")
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"metric_without_value\n",
+		"1badname 3\n",
+		"ok{le=\"0.5\" 3\n", // unterminated label set
+		"ok not-a-number\n",
+		"# TYPE ok flotilla\n",
+		"# TYPE ok\n",
+		"ok{novalue} 1\n",
+	}
+	for _, in := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+	good := "# random comment\nok_metric 3.5 1700000000\nwith_label{a=\"b\",c=\"d\"} +Inf\n"
+	fams, err := ParsePrometheus(strings.NewReader(good))
+	if err != nil {
+		t.Fatalf("rejected valid input: %v", err)
+	}
+	if fams["ok_metric"].Samples != 1 || fams["with_label"].Samples != 1 {
+		t.Fatalf("families=%+v", fams)
+	}
+}

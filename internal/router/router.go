@@ -28,6 +28,7 @@ import (
 
 	"lowmemroute/internal/clusterroute"
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/treeroute"
 )
 
@@ -67,6 +68,10 @@ type Network struct {
 	down   []atomic.Bool
 	quit   chan struct{}
 	wg     sync.WaitGroup
+
+	// lat, when non-nil, receives every completed packet's end-to-end
+	// wall latency in nanoseconds (ObserveLatency).
+	lat *obs.Histogram
 
 	closeOnce sync.Once
 }
@@ -307,11 +312,17 @@ func (net *Network) Send(src, dst int) (Delivery, error) {
 	}
 	select {
 	case d := <-p.done:
+		net.lat.Record(int64(d.Latency))
 		return d, d.Err
 	case <-net.quit:
 		return Delivery{}, ErrClosed
 	}
 }
+
+// ObserveLatency installs a histogram that receives every delivery's
+// end-to-end wall latency (nanoseconds). Call before the first Send; a nil
+// histogram (the default) records nothing.
+func (net *Network) ObserveLatency(h *obs.Histogram) { net.lat = h }
 
 // Close stops all node goroutines and waits for them to exit. Idempotent.
 func (net *Network) Close() {

@@ -10,12 +10,18 @@ import (
 // tracking) must reject files whose schema field is unknown; the version
 // bumps on any incompatible change. Documented in DESIGN.md §7. Version 2
 // added the per-sample fault counters (dropped/retried/lost/duplicated/
-// discarded, omitted when zero), so v1 files remain readable — see
-// SchemaVersionV1 and ReadJSON.
-const SchemaVersion = "lowmemroute.trace/v2"
+// discarded, omitted when zero); version 3 added per-span runtime.MemStats
+// deltas (heapAllocDelta/totalAllocDelta/numGCDelta, omitted when zero).
+// Both changes are additive, so v1 and v2 files remain readable — see
+// ReadJSON.
+const SchemaVersion = "lowmemroute.trace/v3"
+
+// SchemaVersionV2 is the pre-MemStats export layout, still accepted by
+// ReadJSON: every v2 field decodes identically under v3.
+const SchemaVersionV2 = "lowmemroute.trace/v2"
 
 // SchemaVersionV1 is the pre-fault-counter export layout, still accepted by
-// ReadJSON: every v1 field decodes identically under v2.
+// ReadJSON: every v1 field decodes identically under v2 and v3.
 const SchemaVersionV1 = "lowmemroute.trace/v1"
 
 // Export is the machine-readable form of a recording.
@@ -30,15 +36,23 @@ type Export struct {
 // SpanExport is one span of the export tree; all quantities are deltas over
 // the span except StartRound.
 type SpanExport struct {
-	Name          string       `json:"name"`
-	StartRound    int64        `json:"startRound"`
-	Rounds        int64        `json:"rounds"`
-	Messages      int64        `json:"messages"`
-	Words         int64        `json:"words"`
-	PeakMemBefore int64        `json:"peakMemBefore"`
-	PeakMemAfter  int64        `json:"peakMemAfter"`
-	WallNanos     int64        `json:"wallNanos"`
-	Children      []SpanExport `json:"children,omitempty"`
+	Name          string `json:"name"`
+	StartRound    int64  `json:"startRound"`
+	Rounds        int64  `json:"rounds"`
+	Messages      int64  `json:"messages"`
+	Words         int64  `json:"words"`
+	PeakMemBefore int64  `json:"peakMemBefore"`
+	PeakMemAfter  int64  `json:"peakMemAfter"`
+	WallNanos     int64  `json:"wallNanos"`
+	// Host-side runtime.MemStats deltas over the span (schema v3).
+	// HeapAllocDelta can be negative (a GC shrank the live heap inside the
+	// span); TotalAllocDelta and NumGCDelta are monotone. Like WallNanos
+	// these measure the host process, not the simulation, and are zeroed
+	// by StripWall.
+	HeapAllocDelta  int64        `json:"heapAllocDelta,omitempty"`
+	TotalAllocDelta int64        `json:"totalAllocDelta,omitempty"`
+	NumGCDelta      int64        `json:"numGCDelta,omitempty"`
+	Children        []SpanExport `json:"children,omitempty"`
 }
 
 func exportSpan(sp *Span) SpanExport {
@@ -51,6 +65,11 @@ func exportSpan(sp *Span) SpanExport {
 		PeakMemBefore: sp.start.PeakMemory,
 		PeakMemAfter:  sp.end.PeakMemory,
 		WallNanos:     sp.wallDur.Nanoseconds(),
+	}
+	if sp.done {
+		out.HeapAllocDelta = sp.memEnd.heapAlloc - sp.memStart.heapAlloc
+		out.TotalAllocDelta = sp.memEnd.totalAlloc - sp.memStart.totalAlloc
+		out.NumGCDelta = sp.memEnd.numGC - sp.memStart.numGC
 	}
 	for _, c := range sp.children {
 		out.Children = append(out.Children, exportSpan(c))
@@ -81,15 +100,20 @@ func (r *Recorder) Export() Export {
 	return out
 }
 
-// StripWall zeroes every span's WallNanos, recursively. Wall time is the one
-// nondeterministic field of an export: with it removed, two runs of the same
-// seeded simulation must serialise to byte-identical JSON (the determinism
-// contract enforced by lowmemlint's LM003 and the regression tests).
+// StripWall zeroes every span's host-measured fields — WallNanos and the
+// schema-v3 MemStats deltas — recursively. Those are the nondeterministic
+// fields of an export (they measure the host process, not the seeded
+// simulation): with them removed, two runs of the same simulation must
+// serialise to byte-identical JSON (the determinism contract enforced by
+// lowmemlint's LM003 and the regression tests).
 func (e *Export) StripWall() {
 	var walk func(spans []SpanExport)
 	walk = func(spans []SpanExport) {
 		for i := range spans {
 			spans[i].WallNanos = 0
+			spans[i].HeapAllocDelta = 0
+			spans[i].TotalAllocDelta = 0
+			spans[i].NumGCDelta = 0
 			walk(spans[i].Children)
 		}
 	}
@@ -109,17 +133,19 @@ func WriteExportJSON(w io.Writer, e Export) error {
 	return enc.Encode(e)
 }
 
-// ReadJSON parses a JSON export, rejecting unknown schema versions. Both the
-// current schema and v1 (a strict subset: v2 only added omitempty fault
-// counters) are accepted.
+// ReadJSON parses a JSON export, rejecting unknown schema versions. The
+// current schema, v2, and v1 (strict subsets: each bump only added
+// omitempty fields) are all accepted.
 func ReadJSON(r io.Reader) (Export, error) {
 	var out Export
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
 		return Export{}, fmt.Errorf("trace: decode export: %w", err)
 	}
-	if out.Schema != SchemaVersion && out.Schema != SchemaVersionV1 {
-		return Export{}, fmt.Errorf("trace: unsupported schema %q (want %q or %q)",
-			out.Schema, SchemaVersion, SchemaVersionV1)
+	switch out.Schema {
+	case SchemaVersion, SchemaVersionV2, SchemaVersionV1:
+	default:
+		return Export{}, fmt.Errorf("trace: unsupported schema %q (want %q, %q, or %q)",
+			out.Schema, SchemaVersion, SchemaVersionV2, SchemaVersionV1)
 	}
 	return out, nil
 }

@@ -10,10 +10,11 @@ func TestStripWallZeroesAllSpans(t *testing.T) {
 	e := Export{
 		Schema: SchemaVersion,
 		Spans: []SpanExport{{
-			Name: "root", WallNanos: 10,
+			Name: "root", WallNanos: 10, HeapAllocDelta: 11, TotalAllocDelta: 12, NumGCDelta: 13,
 			Children: []SpanExport{
-				{Name: "a", WallNanos: 20},
-				{Name: "b", WallNanos: 30, Children: []SpanExport{{Name: "c", WallNanos: 40}}},
+				{Name: "a", WallNanos: 20, HeapAllocDelta: -7},
+				{Name: "b", WallNanos: 30, NumGCDelta: 2,
+					Children: []SpanExport{{Name: "c", WallNanos: 40, TotalAllocDelta: 99}}},
 			},
 		}},
 	}
@@ -23,6 +24,9 @@ func TestStripWallZeroesAllSpans(t *testing.T) {
 		for _, sp := range spans {
 			if sp.WallNanos != 0 {
 				t.Errorf("span %s: WallNanos = %d after StripWall", sp.Name, sp.WallNanos)
+			}
+			if sp.HeapAllocDelta != 0 || sp.TotalAllocDelta != 0 || sp.NumGCDelta != 0 {
+				t.Errorf("span %s: MemStats deltas survive StripWall: %+v", sp.Name, sp)
 			}
 			check(sp.Children)
 		}

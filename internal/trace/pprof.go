@@ -7,14 +7,19 @@ import (
 	"net/http/pprof"
 	"runtime/metrics"
 	"time"
+
+	"lowmemroute/internal/obs"
 )
 
 // ServePprof starts an HTTP server on addr exposing the standard
-// net/http/pprof endpoints under /debug/pprof/ and the Go runtime metrics
-// (runtime/metrics, JSON map of metric name to value) under /debug/metrics.
-// It returns the bound address (useful with addr ":0") or the bind error;
-// the server runs until the process exits.
-func ServePprof(addr string) (string, error) {
+// net/http/pprof endpoints under /debug/pprof/, the Go runtime metrics
+// (runtime/metrics, JSON map of metric name to value) under /debug/metrics,
+// and — when reg is non-nil — the live metrics registry in Prometheus text
+// exposition format under /metrics. It returns the bound address (useful
+// with addr ":0") and a shutdown func that closes the listener and any
+// active connections; callers that want the server for the process
+// lifetime simply never invoke it.
+func ServePprof(addr string, reg *obs.Registry) (string, func() error, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -22,13 +27,19 @@ func ServePprof(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/metrics", runtimeMetricsHandler)
+	if reg != nil {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w) //nolint:errcheck // best-effort diagnostics
+		})
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // diagnostics server lives until exit
-	return ln.Addr().String(), nil
+	go srv.Serve(ln) //nolint:errcheck // closed via the shutdown func
+	return ln.Addr().String(), srv.Close, nil
 }
 
 // runtimeMetricsHandler dumps every scalar runtime/metrics sample.
@@ -57,22 +68,32 @@ func runtimeMetricsHandler(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(out) //nolint:errcheck // best-effort diagnostics
 }
 
+// histMean reduces a runtime/metrics histogram to its bucket-weighted
+// mean. Buckets with an infinite edge (the first and last buckets of most
+// runtime histograms) still carry counts: their midpoint is clamped to the
+// finite edge so those observations stay in the total instead of silently
+// biasing the mean. Only a bucket with both edges infinite (which the
+// runtime never emits) is skipped.
 func histMean(h *metrics.Float64Histogram) float64 {
 	if h == nil {
 		return 0
 	}
 	var total, weighted float64
 	for i, c := range h.Counts {
-		lo, hi := h.Buckets[i], h.Buckets[i+1]
-		mid := lo
-		if hi > lo && !isInf(lo) && !isInf(hi) {
-			mid = (lo + hi) / 2
-		}
-		if isInf(mid) {
+		if c == 0 {
 			continue
 		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		switch {
+		case isInf(lo) && isInf(hi):
+			continue
+		case isInf(lo):
+			lo = hi
+		case isInf(hi):
+			hi = lo
+		}
 		total += float64(c)
-		weighted += float64(c) * mid
+		weighted += float64(c) * (lo + hi) / 2
 	}
 	if total == 0 {
 		return 0

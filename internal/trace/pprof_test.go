@@ -3,15 +3,23 @@ package trace
 import (
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
+	"runtime/metrics"
+	"strings"
 	"testing"
+
+	"lowmemroute/internal/obs"
 )
 
 func TestServePprof(t *testing.T) {
-	addr, err := ServePprof("localhost:0")
+	reg := obs.NewRegistry()
+	reg.Counter("congest_rounds_total").Add(99)
+	addr, shutdown, err := ServePprof("localhost:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer shutdown() //nolint:errcheck
 	resp, err := http.Get("http://" + addr + "/debug/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -38,5 +46,94 @@ func TestServePprof(t *testing.T) {
 	idx.Body.Close()
 	if idx.StatusCode != http.StatusOK {
 		t.Fatalf("pprof index status=%d", idx.StatusCode)
+	}
+	prom, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prom.Body.Close()
+	if prom.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status=%d", prom.StatusCode)
+	}
+	if ct := prom.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	text, err := io.ReadAll(prom.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(strings.NewReader(string(text)))
+	if err != nil {
+		t.Fatalf("/metrics is not Prometheus text format: %v\n%s", err, text)
+	}
+	if fams["congest_rounds_total"] == nil {
+		t.Fatalf("registry metric missing from /metrics:\n%s", text)
+	}
+}
+
+// The shutdown func must actually release the listener so tests and CI can
+// start/stop debug servers without leaking.
+func TestServePprofShutdown(t *testing.T) {
+	addr, shutdown, err := ServePprof("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Fatal("server still reachable after shutdown")
+	}
+}
+
+// Without a registry, /metrics is absent but everything else serves.
+func TestServePprofNoRegistry(t *testing.T) {
+	addr, shutdown, err := ServePprof("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown() //nolint:errcheck
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/metrics without registry: status=%d want 404", resp.StatusCode)
+	}
+}
+
+// histMean must keep counts that sit in buckets with an infinite edge:
+// clamping to the finite edge, not dropping the bucket.
+func TestHistMeanInfiniteEdges(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{10, 10, 10},
+		Buckets: []float64{math.Inf(-1), 2, 4, math.Inf(1)},
+	}
+	// Bucket midpoints after clamping: 2 (lo clamped to hi), 3, 4 (hi
+	// clamped to lo) — all 30 observations retained.
+	got := histMean(h)
+	want := (10*2.0 + 10*3.0 + 10*4.0) / 30.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("histMean=%v want %v", got, want)
+	}
+
+	// Sanity: finite-only histogram unchanged by the clamping path.
+	h2 := &metrics.Float64Histogram{
+		Counts:  []uint64{1, 3},
+		Buckets: []float64{0, 2, 6},
+	}
+	got2 := histMean(h2)
+	want2 := (1*1.0 + 3*4.0) / 4.0
+	if math.Abs(got2-want2) > 1e-12 {
+		t.Fatalf("finite histMean=%v want %v", got2, want2)
+	}
+
+	if histMean(nil) != 0 {
+		t.Fatal("nil histogram mean != 0")
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if histMean(empty) != 0 {
+		t.Fatal("empty histogram mean != 0")
 	}
 }

@@ -23,6 +23,7 @@
 package trace
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
@@ -93,6 +94,16 @@ type Sink interface {
 	RoundSample(s RoundSample)
 }
 
+// memCounters is the slice of runtime.MemStats snapshotted at span
+// boundaries: host-side allocation cost of a phase, the live counterpart
+// of the simulator's own memory meters. Like wall time it is
+// nondeterministic and stripped by Export.StripWall.
+type memCounters struct {
+	heapAlloc  int64
+	totalAlloc int64
+	numGC      int64
+}
+
 // Span is one named interval of a recording. Spans nest: a span begun while
 // another is open becomes its child. The zero of cost is the counter
 // snapshot at Begin; End snapshots again and the deltas are the span's cost.
@@ -101,6 +112,8 @@ type Span struct {
 	name      string
 	start     Counters
 	end       Counters
+	memStart  memCounters
+	memEnd    memCounters
 	wallStart time.Time
 	wallDur   time.Duration
 	children  []*Span
@@ -171,6 +184,7 @@ func (r *Recorder) Begin(name string) *Span {
 		rec:       r,
 		name:      name,
 		start:     r.countersLocked(),
+		memStart:  readMemCounters(),
 		wallStart: time.Now(),
 	}
 	if len(r.stack) > 0 {
@@ -196,6 +210,7 @@ func (sp *Span) End() {
 		return
 	}
 	end := r.countersLocked()
+	mem := readMemCounters()
 	now := time.Now()
 	// Pop the stack down to (and including) sp, closing abandoned children.
 	for i := len(r.stack) - 1; i >= 0; i-- {
@@ -204,11 +219,26 @@ func (sp *Span) End() {
 		if !s.done {
 			s.done = true
 			s.end = end
+			s.memEnd = mem
 			s.wallDur = now.Sub(s.wallStart)
 		}
 		if s == sp {
 			break
 		}
+	}
+}
+
+// readMemCounters snapshots the runtime allocation counters carried at
+// span boundaries. One ReadMemStats per Begin/End — spans are per
+// construction phase, so this stop-the-world probe is off the per-round
+// hot path.
+func readMemCounters() memCounters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memCounters{
+		heapAlloc:  int64(ms.HeapAlloc),
+		totalAlloc: int64(ms.TotalAlloc),
+		numGC:      int64(ms.NumGC),
 	}
 }
 

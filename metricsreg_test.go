@@ -1,0 +1,120 @@
+package lowmemroute
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"lowmemroute/internal/obs"
+)
+
+// TestMetricsFacade builds with a live registry attached and checks the
+// whole pipeline: engine counters and build-phase gauges land in the
+// registry, the Prometheus exposition is well formed, and Route calls
+// populate the lookup-latency histogram behind LookupLatency.
+func TestMetricsFacade(t *testing.T) {
+	net, err := Generate(ErdosRenyi, 96, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := NewMetrics()
+	s, err := Build(net, Config{K: 2, Seed: 23, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.LookupLatency().Count != 0 {
+		t.Fatal("lookup latency recorded before any Route call")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Route(i, 95-i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat := met.LookupLatency()
+	if lat.Count != 10 {
+		t.Fatalf("lookup count = %d, want 10", lat.Count)
+	}
+	if lat.P50 <= 0 || lat.P50 > lat.P99 || lat.P99 > lat.Max {
+		t.Fatalf("percentiles out of order: %+v", lat)
+	}
+
+	var buf bytes.Buffer
+	if err := met.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(&buf)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, name := range []string{
+		"congest_rounds_total", "congest_messages_total", "congest_words_total",
+		"build_phases_done", "build_phases_total", "route_lookup_seconds",
+	} {
+		if _, ok := fams[name]; !ok {
+			t.Fatalf("family %q missing; have %v", name, fams)
+		}
+	}
+	if got := met.Registry().Counter("congest_rounds_total").Value(); got != s.Report().Rounds {
+		t.Fatalf("congest_rounds_total = %d, report rounds = %d", got, s.Report().Rounds)
+	}
+	if p := met.Registry().Phase(); p.Done != p.Total || p.Total == 0 {
+		t.Fatalf("build phase %+v after a finished build", p)
+	}
+}
+
+// TestMetricsDoesNotPerturbBuild checks the observational contract: a build
+// with a registry attached produces an identical scheme report to one
+// without, and a nil *Metrics is valid everywhere.
+func TestMetricsDoesNotPerturbBuild(t *testing.T) {
+	net, err := Generate(ErdosRenyi, 96, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Build(net, Config{K: 2, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, err := Build(net, Config{K: 2, Seed: 24, Metrics: NewMetrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, _ := json.Marshal(plain.Report())
+	mj, _ := json.Marshal(metered.Report())
+	if !bytes.Equal(pj, mj) {
+		t.Fatalf("reports differ:\nplain   %s\nmetered %s", pj, mj)
+	}
+
+	var nilMet *Metrics
+	if err := nilMet.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if lat := nilMet.LookupLatency(); lat.Count != 0 {
+		t.Fatalf("nil metrics latency: %+v", lat)
+	}
+	if nilMet.Registry() != nil {
+		t.Fatal("nil metrics should expose a nil registry")
+	}
+	if _, err := Build(net, Config{K: 2, Seed: 24, Metrics: nil}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsBuildTree covers the tree-building facade path: the simulated
+// tree construction's counters land in the registry.
+func TestMetricsBuildTree(t *testing.T) {
+	net, err := Generate(ErdosRenyi, 128, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := net.SpanningTree(0, "dfs", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := NewMetrics()
+	if _, err := BuildTree(net, tree, TreeConfig{Seed: 25, Metrics: met}); err != nil {
+		t.Fatal(err)
+	}
+	if met.Registry().Counter("congest_rounds_total").Value() == 0 {
+		t.Fatal("tree build exported no rounds")
+	}
+}

@@ -2,10 +2,13 @@ package lowmemroute
 
 import (
 	"fmt"
+	"time"
 
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/core"
 	"lowmemroute/internal/graph"
+	"lowmemroute/internal/metrics"
+	"lowmemroute/internal/obs"
 	"lowmemroute/internal/router"
 	"lowmemroute/internal/treeroute"
 	"lowmemroute/internal/wire"
@@ -32,6 +35,12 @@ type Config struct {
 	// Faults field measure what that robustness cost. Nil (or a zero plan)
 	// is exactly the clean run.
 	Faults *FaultPlan
+	// Metrics, when non-nil, exports live engine counters and build-phase
+	// progress while the construction runs, and makes the returned Scheme
+	// record per-lookup wall latency (see NewMetrics). Like Trace it is
+	// observational: the scheme and Report are identical with or without
+	// it.
+	Metrics *Metrics
 }
 
 // Report summarises the distributed construction's cost in the CONGEST
@@ -78,6 +87,9 @@ func (p Path) Hops() int { return len(p.Nodes) - 1 }
 type Scheme struct {
 	inner  *core.Scheme
 	report Report
+	// lookups, when non-nil (Config.Metrics was set), receives each
+	// Route call's wall latency in nanoseconds.
+	lookups *obs.Histogram
 }
 
 // Build runs the full distributed construction of Theorem 3 on a simulated
@@ -99,6 +111,9 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 	if cfg.Faults != nil {
 		simOpts = append(simOpts, congest.WithFaults(cfg.Faults.internal()))
 	}
+	if reg := cfg.Metrics.Registry(); reg != nil {
+		simOpts = append(simOpts, congest.WithMetrics(reg))
+	}
 	sim := congest.New(net.g, simOpts...)
 	cfg.Trace.recorder().Attach(sim)
 	s, err := core.Build(sim, core.Options{
@@ -106,12 +121,19 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 		Epsilon: cfg.Epsilon,
 		Seed:    cfg.Seed,
 		Trace:   cfg.Trace.recorder(),
+		Metrics: cfg.Metrics.Registry(),
 	})
 	if err != nil {
 		return nil, err
 	}
+	var lookups *obs.Histogram
+	if reg := cfg.Metrics.Registry(); reg != nil {
+		reg.SetHelp(metrics.LookupHistogram, "Wall-clock latency of one Route lookup, in seconds.")
+		lookups = reg.Histogram(metrics.LookupHistogram, 1e-9)
+	}
 	return &Scheme{
-		inner: s,
+		inner:   s,
+		lookups: lookups,
 		report: Report{
 			Rounds:             sim.Rounds(),
 			Messages:           sim.Messages(),
@@ -135,7 +157,14 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 // label, and the tables of intermediate nodes - exactly the routing phase
 // of the scheme.
 func (s *Scheme) Route(src, dst int) (Path, error) {
+	var began time.Time
+	if s.lookups != nil {
+		began = time.Now()
+	}
 	nodes, w, err := s.inner.Route(src, dst)
+	if s.lookups != nil {
+		s.lookups.Record(int64(time.Since(began)))
+	}
 	if err != nil {
 		return Path{}, err
 	}
@@ -167,9 +196,12 @@ type PacketNetwork struct {
 
 // Serve starts the scheme as a concurrent packet-forwarding network. Call
 // Close when done; Send blocks until delivery and is safe for concurrent
-// use.
+// use. A scheme built with Config.Metrics records each delivery's
+// end-to-end wall latency into the lookup-latency histogram.
 func (s *Scheme) Serve() *PacketNetwork {
-	return &PacketNetwork{inner: router.New(s.inner.Scheme)}
+	net := router.New(s.inner.Scheme)
+	net.ObserveLatency(s.lookups)
+	return &PacketNetwork{inner: net}
 }
 
 // Send injects a packet at src addressed to dst and returns its delivery
@@ -196,6 +228,9 @@ type TreeConfig struct {
 	// Faults, when non-nil, injects a deterministic fault schedule into the
 	// simulated network (see Config.Faults).
 	Faults *FaultPlan
+	// Metrics, when non-nil, exports live engine counters while the
+	// construction runs (see NewMetrics).
+	Metrics *Metrics
 }
 
 // TreeReport summarises a tree-routing construction.
@@ -232,6 +267,9 @@ func BuildTree(net *Network, tree *Tree, cfg TreeConfig) (*TreeScheme, error) {
 	}
 	if cfg.Faults != nil {
 		simOpts = append(simOpts, congest.WithFaults(cfg.Faults.internal()))
+	}
+	if reg := cfg.Metrics.Registry(); reg != nil {
+		simOpts = append(simOpts, congest.WithMetrics(reg))
 	}
 	sim := congest.New(net.g, simOpts...)
 	cfg.Trace.recorder().Attach(sim)
@@ -282,6 +320,9 @@ func BuildTrees(net *Network, trees []*Tree, cfg TreeConfig) ([]*TreeScheme, Tre
 	}
 	if cfg.Faults != nil {
 		simOpts = append(simOpts, congest.WithFaults(cfg.Faults.internal()))
+	}
+	if reg := cfg.Metrics.Registry(); reg != nil {
+		simOpts = append(simOpts, congest.WithMetrics(reg))
 	}
 	sim := congest.New(net.g, simOpts...)
 	cfg.Trace.recorder().Attach(sim)
