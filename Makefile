@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline race bench bench-json bench-diff bench-smoke metrics-smoke table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke metrics-smoke table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -23,6 +23,18 @@ lint:
 # entry it writes.
 lint-baseline:
 	$(GO) run ./cmd/lowmemlint -write-baseline lint.baseline.json ./internal/...
+
+# Protocol-graph golden (schema lowmemlint/protocol-v1): regenerate the
+# whole-repo send/receive kind graph and fail on any drift from the committed
+# protocol.json / protocol.dot. A diff here means the wire protocol changed —
+# review it, then refresh the goldens with `make lint-graph-update`.
+lint-graph:
+	$(GO) run ./cmd/lowmemlint -graph /tmp/lowmemlint-protocol.json -graph-dot /tmp/lowmemlint-protocol.dot ./internal/...
+	diff -u protocol.json /tmp/lowmemlint-protocol.json
+	diff -u protocol.dot /tmp/lowmemlint-protocol.dot
+
+lint-graph-update:
+	$(GO) run ./cmd/lowmemlint -graph protocol.json -graph-dot protocol.dot ./internal/...
 
 test:
 	$(GO) test ./...

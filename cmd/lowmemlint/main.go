@@ -6,18 +6,27 @@
 //	lowmemlint [flags] [patterns]
 //
 // Patterns default to ./internal/...; a pattern ending in /... walks the
-// tree. Exit status is 0 when the run is clean, 1 when there are findings or
-// stale baseline entries, and 2 when packages fail to load or flags are
-// invalid.
+// tree.
+//
+// Exit-code contract: 0 when the run is clean (or when an artifact was
+// written via -write-baseline / -graph / -graph-dot), 1 when there are fresh
+// findings or stale baseline entries, and 2 when flags are invalid or
+// packages fail to load.
 //
 // Flags:
 //
-//	-json                  emit the lowmemlint/v1 JSON report instead of text
+//	-json                  emit the lowmemlint/v2 JSON report (per-finding severity)
 //	-baseline FILE         apply a baseline file; stale entries are errors
 //	-write-baseline FILE   write current findings as a fresh baseline and exit
+//	-graph FILE            write the lowmemlint/protocol-v1 kind graph as JSON and exit
+//	-graph-dot FILE        write the kind graph as Graphviz dot and exit
 //	-enable a,b            run only the named analyzers
 //	-disable a,b           run all but the named analyzers
 //	-list                  list analyzers and exit
+//
+// -graph and -graph-dot may be combined; both artifacts are written before
+// exiting. The graph is built from the whole-repo send/receive extraction
+// that backs LM007/LM008 and does not run the analyzers.
 package main
 
 import (
@@ -39,6 +48,8 @@ func run(argv []string) int {
 		jsonOut       = fs.Bool("json", false, "emit the lowmemlint/v1 JSON report")
 		baselinePath  = fs.String("baseline", "", "baseline file to apply (stale entries are errors)")
 		writeBaseline = fs.String("write-baseline", "", "write current findings to this baseline file and exit")
+		graphJSON     = fs.String("graph", "", "write the protocol kind graph as JSON to this file and exit")
+		graphDot      = fs.String("graph-dot", "", "write the protocol kind graph as Graphviz dot to this file and exit")
 		enable        = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 		disable       = fs.String("disable", "", "comma-separated analyzers to skip")
 		list          = fs.Bool("list", false, "list analyzers and exit")
@@ -73,6 +84,10 @@ func run(argv []string) int {
 		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
 		return 2
 	}
+	if *graphJSON != "" || *graphDot != "" {
+		return writeGraph(loader, dirs, *graphJSON, *graphDot)
+	}
+
 	res, err := lint.RunDirs(loader, dirs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
@@ -113,6 +128,46 @@ func run(argv []string) int {
 	}
 	if len(fresh) > 0 || len(stale) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// writeGraph builds the whole-repo protocol kind graph and writes the
+// requested artifacts. Returns 0 on success, 2 on any failure.
+func writeGraph(loader *lint.Loader, dirs []string, jsonPath, dotPath string) int {
+	g, err := lint.BuildProtocolGraph(loader, dirs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+		return 2
+	}
+	write := func(path string, emit func(*os.File) error) int {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+			return 2
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+			return 2
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lowmemlint:", err)
+			return 2
+		}
+		return 0
+	}
+	if jsonPath != "" {
+		if rc := write(jsonPath, func(f *os.File) error { return g.WriteJSON(f) }); rc != 0 {
+			return rc
+		}
+		fmt.Printf("lowmemlint: wrote protocol graph (%d package(s)) to %s\n", len(g.Packages), jsonPath)
+	}
+	if dotPath != "" {
+		if rc := write(dotPath, func(f *os.File) error { return g.WriteDot(f) }); rc != 0 {
+			return rc
+		}
+		fmt.Printf("lowmemlint: wrote protocol graph dot to %s\n", dotPath)
 	}
 	return 0
 }

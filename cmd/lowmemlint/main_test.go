@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The exit-code contract: 0 clean / artifact written, 1 findings, 2 usage or
+// load failure. Tests drive run() directly; the process cwd is this package's
+// directory, inside the module, so the loader resolves the module root.
+
+func TestExitCodeUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+	}{
+		{"bad flag", []string{"-no-such-flag"}},
+		{"unknown analyzer", []string{"-enable", "nosuchanalyzer", "../../internal/congest"}},
+		{"bad pattern", []string{"./no/such/dir"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := run(tc.argv); got != 2 {
+				t.Fatalf("run(%q) = %d, want 2", tc.argv, got)
+			}
+		})
+	}
+}
+
+func TestExitCodeFindings(t *testing.T) {
+	// The wiresize fixture contains deliberate violations.
+	argv := []string{"-enable", "wiresize", "../../internal/lint/testdata/src/wiresize"}
+	if got := run(argv); got != 1 {
+		t.Fatalf("run(%q) = %d, want 1", argv, got)
+	}
+}
+
+func TestExitCodeClean(t *testing.T) {
+	for _, argv := range [][]string{
+		{"-list"},
+		{"../../internal/congest"},
+	} {
+		if got := run(argv); got != 0 {
+			t.Fatalf("run(%q) = %d, want 0", argv, got)
+		}
+	}
+}
+
+func TestGraphFlags(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "protocol.json")
+	dotPath := filepath.Join(dir, "protocol.dot")
+	argv := []string{"-graph", jsonPath, "-graph-dot", dotPath, "../../internal/..."}
+	if got := run(argv); got != 0 {
+		t.Fatalf("run(%q) = %d, want 0", argv, got)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"lowmemlint/protocol-v1"`) {
+		t.Errorf("graph JSON missing schema marker:\n%s", data)
+	}
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(dot), "digraph") {
+		t.Errorf("graph dot output does not start with digraph:\n%.200s", dot)
+	}
+}

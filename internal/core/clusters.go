@@ -344,7 +344,7 @@ func (g *clusterGrowth) grow(level int, roots []int) error {
 				Payload: congest.Payload{
 					Kind: kindHMsg,
 					W0:   congest.IntWord(u),
-					W1:   uint64(ne),
+					W1:   congest.IntWord(ne),
 					Ext:  buf[:pos],
 				},
 				Words: 1 + 2*ne + 3*len(out),

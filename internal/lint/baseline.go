@@ -74,8 +74,12 @@ func ReadBaseline(path string) (Baseline, error) {
 	return b, nil
 }
 
-// WriteBaseline writes b to path.
+// WriteBaseline writes b to path. An empty baseline is normalized to
+// "entries": [] (a nil slice would marshal as null; readers accept both).
 func WriteBaseline(path string, b Baseline) error {
+	if b.Entries == nil {
+		b.Entries = []BaselineEntry{}
+	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,292 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Package-level dataflow support for the ownership and protocol analyzers
+// (LM006–LM008). The model is deliberately small: intra-procedural value
+// tracking over identifier objects (go/types resolution does the heavy
+// lifting), plus per-function call summaries computed to a fixed point so a
+// flow through a helper — a closure storing its argument, an encoder writing
+// into its destination slice — is visible at the call site. Summaries cover
+// the current package only; calls that leave the package are treated as
+// neither escaping nor mutating their arguments (the congest API itself is
+// copy-on-send, and a cross-package escape would be an LM001 isolation
+// violation first).
+
+// funcSummary describes how one function treats each of its parameters.
+type funcSummary struct {
+	node   ast.Node       // *ast.FuncDecl or *ast.FuncLit
+	params []types.Object // in declaration order
+	// escapes[i]: parameter i's value is stored somewhere that outlives the
+	// call (struct field, map or slice element, package variable), directly
+	// or through a callee.
+	escapes []bool
+	// mutates[i]: the function writes through parameter i (element write,
+	// copy destination, append into its backing array), directly or through
+	// a callee.
+	mutates []bool
+}
+
+func (s *funcSummary) paramIndex(obj types.Object) int {
+	for i, p := range s.params {
+		if p == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// summarySet is the package's call-summary table. Functions are keyed by
+// their object: the *types.Func of a declaration or method, or the *types.Var
+// of a local variable bound to a function literal (`enc := func(...){...}`).
+type summarySet struct {
+	info  *types.Info
+	funcs map[types.Object]*funcSummary
+}
+
+// buildSummaries computes escape/mutation summaries for every function
+// declaration and every function literal bound to a single variable in pkg,
+// iterating until the summaries stop changing (calls between local functions
+// propagate, including through cycles).
+func buildSummaries(pkg *Package) *summarySet {
+	info := pkg.Info
+	ss := &summarySet{info: info, funcs: make(map[types.Object]*funcSummary)}
+
+	add := func(obj types.Object, node ast.Node, fields *ast.FieldList) {
+		if obj == nil || funcBody(node) == nil || ss.funcs[obj] != nil {
+			return
+		}
+		var params []types.Object
+		if fields != nil {
+			for _, f := range fields.List {
+				for _, name := range f.Names {
+					if p := info.Defs[name]; p != nil {
+						params = append(params, p)
+					}
+				}
+			}
+		}
+		ss.funcs[obj] = &funcSummary{
+			node:    node,
+			params:  params,
+			escapes: make([]bool, len(params)),
+			mutates: make([]bool, len(params)),
+		}
+	}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				add(info.Defs[n.Name], n, n.Type.Params)
+			case *ast.AssignStmt:
+				// `enc := func(...){...}` and `enc = func(...){...}`: bind the
+				// literal to the variable so calls through the name resolve.
+				for i, rhs := range n.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(n.Lhs) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						obj := info.Defs[id]
+						if obj == nil {
+							obj = info.Uses[id]
+						}
+						add(obj, lit, lit.Type.Params)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, sum := range ss.funcs {
+			if ss.scanFunc(sum) {
+				changed = true
+			}
+		}
+	}
+	return ss
+}
+
+// callee returns the summary of the function a call invokes, when it is a
+// package-local function declaration, method, or summarized local literal.
+func (ss *summarySet) callee(call *ast.CallExpr) *funcSummary {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := ss.info.Uses[fun]; obj != nil {
+			return ss.funcs[obj]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := ss.info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			return ss.funcs[sel.Obj()]
+		}
+	case *ast.FuncLit:
+		// Immediately-invoked literal: not summarized; treated as opaque.
+	}
+	return nil
+}
+
+// rootIdentObj unwraps parens, slicing, and indexing down to the base
+// identifier's object: `buf[2:k]` and `buf[i]` both root at buf. Returns nil
+// for anything not rooted at a plain identifier (selectors stay opaque here —
+// the ownership analyzer tracks those separately).
+func rootIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// sliceRootObj is rootIdentObj restricted to expressions that still denote
+// the slice itself (parens and re-slicing, not element indexing): writes
+// through `buf[:n]` hit buf's backing array, writes to `buf[i]` do too, but
+// *passing* `buf[i]` passes an element value, not the slice.
+func sliceRootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// scanFunc recomputes one function's summary, returning whether it changed.
+func (ss *summarySet) scanFunc(sum *funcSummary) bool {
+	if len(sum.params) == 0 {
+		return false
+	}
+	info := ss.info
+	changed := false
+	markEscape := func(i int) {
+		if i >= 0 && !sum.escapes[i] {
+			sum.escapes[i] = true
+			changed = true
+		}
+	}
+	markMutate := func(i int) {
+		if i >= 0 && !sum.mutates[i] {
+			sum.mutates[i] = true
+			changed = true
+		}
+	}
+	paramOf := func(e ast.Expr) int { return sum.paramIndex(sliceRootObj(info, e)) }
+
+	ast.Inspect(funcBody(sum.node), func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				// Element write through a parameter: p[i] = x, p[:k][j] = x.
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					markMutate(paramOf(ix.X))
+				}
+				// A parameter value stored into memory that outlives the
+				// call: field, element of something else, or package var.
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				pi := paramOf(rhs)
+				if pi < 0 {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					markEscape(pi)
+				case *ast.IndexExpr:
+					markEscape(pi)
+				case *ast.Ident:
+					if obj := info.Uses[l]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+						markEscape(pi) // package-level variable
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "copy":
+						if len(n.Args) == 2 {
+							markMutate(paramOf(n.Args[0]))
+						}
+					case "append":
+						// append(p[:0], ...) rewrites p's backing array; a
+						// growing append may or may not, so any append whose
+						// base is the parameter counts as a write.
+						if len(n.Args) > 0 {
+							if _, isSlice := ast.Unparen(n.Args[0]).(*ast.SliceExpr); isSlice {
+								markMutate(paramOf(n.Args[0]))
+							}
+						}
+					}
+					return true
+				}
+			}
+			if callee := ss.callee(n); callee != nil && callee != sum {
+				for ai, arg := range n.Args {
+					pi := paramOf(arg)
+					if pi < 0 || ai >= len(callee.params) {
+						continue
+					}
+					if callee.escapes[ai] {
+						markEscape(pi)
+					}
+					if callee.mutates[ai] {
+						markMutate(pi)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// argEscapes / argMutates report whether passing the given argument position
+// to this call hands the value to an escaping / mutating parameter of a
+// package-local callee.
+func (ss *summarySet) argEscapes(call *ast.CallExpr, argIdx int) bool {
+	if s := ss.callee(call); s != nil && argIdx < len(s.escapes) {
+		return s.escapes[argIdx]
+	}
+	return false
+}
+
+func (ss *summarySet) argMutates(call *ast.CallExpr, argIdx int) bool {
+	if s := ss.callee(call); s != nil && argIdx < len(s.mutates) {
+		return s.mutates[argIdx]
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LM006 extownership: enforces the arena ownership protocol of
+// internal/congest/payload.go. The Ext slices reachable through ctx.In()
+// are engine-owned: their backing words live in the delivery arena and are
+// recycled after the step, so a handler may read them during the step and
+// may relay them through Ctx.Send (Send clones Ext into the arena
+// immediately), but must not
+//
+//   - store the slice (or a reslice of it) anywhere that outlives the
+//     handler call: a struct field, a package variable, a map or slice
+//     element, or an append that retains the slice header — the only
+//     sanctioned escape is copying the words out (copy(dst, ext) or
+//     append(dst, ext...));
+//   - write through the slice (element store, copy destination, append into
+//     its backing array): the inbox is read-only shared state.
+//
+// Flows through package-local helpers are tracked via the call summaries of
+// dataflow.go: passing an inbox Ext to a helper that stores or mutates its
+// parameter is reported at the call site. Broadcast/Convergecast payloads
+// (*congest.BroadcastMsg) are caller-owned and exempt.
+//
+//	              ctx.In() ─────────► ENGINE-OWNED (this step only)
+//	                                   │        │
+//	         read / Ctx.Send (clone)   │        │  store / write
+//	                    ok ◄───────────┘        └──────► LM006
+//	copy(dst,ext) / append(dst,ext...) ──► CALLER-OWNED (keep freely)
+func analyzerExtOwnership() *Analyzer {
+	return &Analyzer{
+		Name: "extownership",
+		Code: "LM006",
+		Doc:  "engine-owned Ext slices from ctx.In() must not escape the handler or be written through",
+		Run:  runExtOwnership,
+	}
+}
+
+func runExtOwnership(pass *Pass) {
+	if !simulatorScoped(pass.Pkg) {
+		return
+	}
+	summaries := buildSummaries(pass.Pkg)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkExtOwnership(pass, summaries, fd)
+		}
+	}
+}
+
+func checkExtOwnership(pass *Pass, summaries *summarySet, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	o := computeOrigins(info, fd)
+
+	// extExpr reports whether e denotes an engine-owned Ext slice: a
+	// tracked alias, p.Ext / in[i].Payload.Ext on an inbox-derived payload,
+	// or a reslice of either.
+	var extExpr func(e ast.Expr) bool
+	extExpr = func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			return extExpr(x.X)
+		case *ast.Ident:
+			return o.inExts[rootIdentObj(info, x)]
+		case *ast.SelectorExpr:
+			if x.Sel.Name != "Ext" {
+				return false
+			}
+			base := rootIdentObj(info, x.X)
+			if o.inPayloads[base] {
+				return true
+			}
+			if inner, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok && inner.Sel.Name == "Payload" {
+				ib := rootIdentObj(info, inner.X)
+				return o.inMsgs[ib] || o.inSlices[ib]
+			}
+		}
+		return false
+	}
+
+	escape := func(pos token.Pos, into string) {
+		pass.Reportf(pos, "engine-owned Ext slice from ctx.In() escapes the handler (stored into %s); its words are recycled after this step — copy them instead", into)
+	}
+	mutate := func(pos token.Pos) {
+		pass.Reportf(pos, "engine-owned Ext slice from ctx.In() is written through; the inbox is read-only — copy the words before modifying them")
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Element writes through an engine-owned slice.
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && extExpr(ix.X) {
+					mutate(lhs.Pos())
+				}
+			}
+			// Slice headers stored into memory that outlives the handler.
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil || !extExpr(rhs) {
+					continue
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr:
+					escape(rhs.Pos(), "a struct field")
+				case *ast.IndexExpr:
+					if !extExpr(l.X) {
+						escape(rhs.Pos(), "a map or slice element")
+					}
+				case *ast.Ident:
+					if obj := info.Uses[l]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+						escape(rhs.Pos(), "a package variable")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "copy":
+						// copy(ext, src) writes the arena; copy(dst, ext) is
+						// the sanctioned way out.
+						if len(n.Args) == 2 && extExpr(n.Args[0]) {
+							mutate(n.Pos())
+						}
+					case "append":
+						if len(n.Args) == 0 {
+							break
+						}
+						// append(ext[:0], ...) rewrites the arena backing.
+						if extExpr(n.Args[0]) {
+							mutate(n.Pos())
+						}
+						// append(list, ext) retains the slice header;
+						// append(dst, ext...) copies elements and is fine.
+						for _, arg := range n.Args[1:] {
+							if extExpr(arg) && !n.Ellipsis.IsValid() {
+								escape(arg.Pos(), "a slice retained by append")
+							}
+						}
+					}
+					return true
+				}
+			}
+			// Cross-function flows via package-local helpers.
+			for i, arg := range n.Args {
+				if !extExpr(arg) {
+					continue
+				}
+				if summaries.argEscapes(n, i) {
+					escape(arg.Pos(), "memory retained by the callee")
+				}
+				if summaries.argMutates(n, i) {
+					mutate(arg.Pos())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,144 @@
+package lint
+
+import "strings"
+
+// LM007 kindconformance: every PayloadKind placed on the wire must be
+// recognized on the receive side, and vice versa. The analyzer runs the
+// protocol extraction (protocol.go) over the package and reports:
+//
+//   - a kind sent (Ctx.Send or BroadcastMsg literal) but never matched by any
+//     kind switch or guard reachable over the same transport — error: those
+//     messages are paid for by the bandwidth meter and then dropped on the
+//     floor;
+//   - a default-less switch over a p2p payload's Kind that does not cover
+//     every kind Ctx.Send places on the wire in the same phase function —
+//     error: the missing arm is an unhandled message class;
+//   - a match arm for a kind that is never sent — warning (dead arm);
+//   - a declared kind neither sent nor matched — warning (dead kind);
+//   - a send site whose payload expression cannot be traced to a kind
+//     constant — warning: the site is invisible to this analysis and to the
+//     exported protocol graph.
+//
+// Transports must agree: a kind sent point-to-point is matched by handlers
+// reading ctx.In(); a broadcast kind by *congest.BroadcastMsg handlers.
+// Helpers taking a bare *congest.Payload match either transport.
+func analyzerKindConformance() *Analyzer {
+	return &Analyzer{
+		Name: "kindconformance",
+		Code: "LM007",
+		Doc:  "PayloadKind constants sent and matched must agree across senders and handlers",
+		Run:  runKindConformance,
+	}
+}
+
+// transportsCompatible reports whether a send over `send` can be observed by
+// a match classified as `match`.
+func transportsCompatible(send, match string) bool {
+	return send == match || match == transportAny || send == transportAny
+}
+
+func runKindConformance(pass *Pass) {
+	if !simulatorScoped(pass.Pkg) || pathBase(pass.Pkg.Path) == "congest" {
+		// The engine package defines the types but speaks no protocol of its
+		// own; only algorithm packages are checked.
+		return
+	}
+	pp := extractProtocol(pass.Pkg)
+	if len(pp.kinds) == 0 {
+		return
+	}
+
+	for _, pos := range pp.unresolved {
+		pass.ReportSeverityf(pos, SeverityWarning,
+			"cannot resolve the PayloadKind of this send site; it is invisible to protocol conformance checking")
+	}
+
+	// Sent kinds must be matched somewhere compatible.
+	matched := func(kc *kindConst, transport string) bool {
+		for _, m := range pp.matches {
+			if m.kind == kc && transportsCompatible(transport, m.transport) {
+				return true
+			}
+		}
+		return false
+	}
+	sentOver := make(map[*kindConst]map[string]bool)
+	for _, s := range pp.sends {
+		if s.kind == nil {
+			continue
+		}
+		if sentOver[s.kind] == nil {
+			sentOver[s.kind] = make(map[string]bool)
+		}
+		sentOver[s.kind][s.transport] = true
+		if !matched(s.kind, s.transport) {
+			pass.Reportf(s.pos, "kind %s is sent here (%s) but no handler matches it on that transport", s.kind.name, s.transport)
+		}
+	}
+
+	// Dead arms: matched kinds that nothing sends.
+	for _, m := range pp.matches {
+		dead := true
+		for tr := range sentOver[m.kind] {
+			if transportsCompatible(tr, m.transport) {
+				dead = false
+				break
+			}
+		}
+		if dead {
+			pass.ReportSeverityf(m.pos, SeverityWarning, "kind %s is matched here but never sent over a compatible transport (dead arm)", m.kind.name)
+		}
+	}
+
+	// Dead kinds: declared but neither sent nor matched.
+	for _, kc := range pp.kinds {
+		if len(sentOver[kc]) > 0 {
+			continue
+		}
+		used := false
+		for _, m := range pp.matches {
+			if m.kind == kc {
+				used = true
+				break
+			}
+		}
+		if !used {
+			pass.ReportSeverityf(kc.pos, SeverityWarning, "kind %s is declared but never sent or matched (dead kind)", kc.name)
+		}
+	}
+
+	// Exhaustiveness: a default-less p2p kind switch must cover every kind
+	// Ctx.Send puts on the wire within the same phase function — the switch
+	// is that phase's demultiplexer.
+	for _, sw := range pp.switches {
+		if sw.hasDefault || sw.transport == transportBcast {
+			continue
+		}
+		var missing []string
+		for _, s := range pp.sends {
+			if s.kind == nil || s.transport != transportSend || s.enclosing != sw.enclosing {
+				continue
+			}
+			if !sw.arms[s.kind] {
+				missing = append(missing, s.kind.name)
+			}
+		}
+		missing = dedupeStrings(missing)
+		if len(missing) > 0 {
+			pass.Reportf(sw.pos, "kind switch is not exhaustive over the kinds sent in %s and has no default: missing %s",
+				sw.enclosing, strings.Join(missing, ", "))
+		}
+	}
+}
+
+func dedupeStrings(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -2,9 +2,13 @@
 // that enforces the repository's model-level resource invariants at build
 // time: CONGEST vertex isolation (LM001), meter accounting of per-vertex
 // allocations (LM002), schedule determinism (LM003), honest wire-size
-// accounting of message payloads (LM004), and a ban on interface-typed
-// payloads on the wire (LM005). See DESIGN.md §8 for the mapping from each
-// analyzer to the paper invariant it guards.
+// accounting of message payloads (LM004), a ban on interface-typed payloads
+// on the wire (LM005), arena Ext ownership (LM006), sender/receiver
+// PayloadKind conformance (LM007), and encode/decode codec symmetry (LM008).
+// The LM006–LM008 analyzers share a package-level dataflow layer (dataflow.go,
+// protocol.go): go/types-driven intra-procedural value tracking plus
+// fixed-point call summaries for cross-function flows. See DESIGN.md §8 for
+// the mapping from each analyzer to the paper invariant it guards.
 //
 // Findings can be waived in place with comment directives:
 //
@@ -34,8 +38,18 @@ type Diagnostic struct {
 	Col      int    `json:"col"`
 	Code     string `json:"code"`
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"` // "error" or "warning"
 	Message  string `json:"message"`
 }
+
+// Diagnostic severities. Both fail the run (exit 1): a warning marks a
+// finding that is advisory in nature (dead protocol kinds, unresolvable
+// payload expressions) rather than a proven invariant violation, but letting
+// either rot silently defeats the point of the suite.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
 
 // Analyzer is one independently enable/disable-able check.
 type Analyzer struct {
@@ -53,6 +67,9 @@ func Analyzers() []*Analyzer {
 		analyzerDeterminism(),
 		analyzerWireSize(),
 		analyzerAnyPayload(),
+		analyzerExtOwnership(),
+		analyzerKindConformance(),
+		analyzerCodecSymmetry(),
 	}
 }
 
@@ -107,8 +124,15 @@ type Pass struct {
 // Fset returns the shared file set.
 func (p *Pass) Fset() *token.FileSet { return p.Loader.Fset }
 
-// Reportf records a finding at pos unless a matching waiver covers it.
+// Reportf records an error-severity finding at pos unless a matching waiver
+// covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportSeverityf(pos, SeverityError, format, args...)
+}
+
+// ReportSeverityf records a finding with an explicit severity at pos unless
+// a matching waiver covers it.
+func (p *Pass) ReportSeverityf(pos token.Pos, severity string, format string, args ...any) {
 	position := p.Loader.Fset.Position(pos)
 	file := relPath(p.Loader.root, position.Filename)
 	for _, w := range p.waivers {
@@ -124,6 +148,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Col:      position.Column,
 		Code:     p.analyzer.Code,
 		Analyzer: p.analyzer.Name,
+		Severity: severity,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -164,6 +189,7 @@ func scanDirectives(l *Loader, pkg *Package, known map[string]bool) ([]*waiver, 
 			Col:      position.Column,
 			Code:     CodeDirectives,
 			Analyzer: directiveAnalyzer,
+			Severity: SeverityError,
 			Message:  fmt.Sprintf(format, args...),
 		})
 	}

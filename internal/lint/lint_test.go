@@ -146,6 +146,18 @@ func TestAnyPayloadFixture(t *testing.T) {
 	runFixture(t, "anypayload", []string{"anypayload"})
 }
 
+func TestExtOwnershipFixture(t *testing.T) {
+	runFixture(t, "extownership", []string{"extownership"})
+}
+
+func TestKindConformanceFixture(t *testing.T) {
+	runFixture(t, "kindconformance", []string{"kindconformance"})
+}
+
+func TestCodecSymmetryFixture(t *testing.T) {
+	runFixture(t, "codecsymmetry", []string{"codecsymmetry"})
+}
+
 // TestDirectiveDiagnostics pins the LM000 catalogue: a malformed directive
 // occupies its whole source line, so the expectations are explicit here
 // instead of // want comments.
@@ -179,15 +191,15 @@ func TestDirectiveDiagnostics(t *testing.T) {
 
 func TestSelect(t *testing.T) {
 	all, err := Select(nil, nil)
-	if err != nil || len(all) != 5 {
-		t.Fatalf("Select(nil, nil) = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("Select(nil, nil) = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	only, err := Select([]string{"determinism"}, nil)
 	if err != nil || len(only) != 1 || only[0].Code != "LM003" {
 		t.Fatalf("Select(determinism) = %+v, %v", only, err)
 	}
 	rest, err := Select(nil, []string{"wiresize", "meteraccount"})
-	if err != nil || len(rest) != 3 {
+	if err != nil || len(rest) != 6 {
 		t.Fatalf("Select(disable two) = %d analyzers, err %v", len(rest), err)
 	}
 	for _, a := range rest {
@@ -282,6 +294,47 @@ func TestBaselineRoundTripAndSchema(t *testing.T) {
 	}
 }
 
+// TestBaselineEmptyRoundTrip pins the empty-baseline serialization: a clean
+// run writes "entries": [] (not null), and readers accept both spellings.
+func TestBaselineEmptyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := WriteBaseline(path, NewBaseline(nil)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"entries": []`) {
+		t.Errorf("empty baseline serialized without \"entries\": []:\n%s", data)
+	}
+	got, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 0 {
+		t.Fatalf("entries = %+v, want none", got.Entries)
+	}
+
+	// Legacy files with "entries": null still load.
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"schema":"`+BaselineSchema+`","entries":null}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadBaseline(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 0 {
+		t.Fatalf("legacy entries = %+v, want none", got.Entries)
+	}
+	fresh, stale := got.Apply(nil)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("Apply on legacy empty baseline: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
 func TestReportJSONSchema(t *testing.T) {
 	rep := NewReport(
 		[]Diagnostic{{File: "x.go", Line: 2, Col: 7, Code: "LM001", Analyzer: "congestisolation", Message: "m"}},
@@ -304,7 +357,7 @@ func TestReportJSONSchema(t *testing.T) {
 		t.Fatalf("findings = %v", decoded["findings"])
 	}
 	f := findings[0].(map[string]any)
-	for _, key := range []string{"file", "line", "col", "code", "analyzer", "message"} {
+	for _, key := range []string{"file", "line", "col", "code", "analyzer", "severity", "message"} {
 		if _, ok := f[key]; !ok {
 			t.Errorf("finding missing %q key: %v", key, f)
 		}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -106,6 +107,20 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
+// matchFile reports whether the named file participates in the build for the
+// host platform: _test.go files are out, and //go:build constraints plus
+// _GOOS/_GOARCH filename suffixes are evaluated by go/build with the default
+// context, so tag-excluded files are skipped exactly as `go build` would.
+// Files whose constraints cannot be parsed are skipped rather than failing
+// the whole package: the go tool would not build them either.
+func matchFile(dir, name string) bool {
+	if strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	ok, err := build.Default.MatchFile(dir, name)
+	return err == nil && ok
+}
+
 // LoadDir parses and type-checks the package in dir (non-test files only).
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
@@ -139,7 +154,7 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 	var names []string
 	for _, e := range entries {
 		n := e.Name()
-		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || !matchFile(dir, n) {
 			continue
 		}
 		names = append(names, n)
@@ -231,7 +246,7 @@ func hasGoFiles(dir string) bool {
 	}
 	for _, e := range entries {
 		n := e.Name()
-		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && matchFile(dir, n) {
 			return true
 		}
 	}

@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDirFileSelection checks the loader's file-selection rules against
+// the loadedge fixture: build-tag-excluded files and _test.go files are
+// skipped (each redeclares Marker, so loading one would fail type-checking),
+// while a generated cgo-free file loads normally.
+func TestLoadDirFileSelection(t *testing.T) {
+	l := sharedLoader(t)
+	pkg, err := l.LoadDir("testdata/src/loadedge")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	got := make(map[string]bool)
+	for _, f := range pkg.Files {
+		got[filepath.Base(l.Fset.Position(f.Pos()).Filename)] = true
+	}
+	want := map[string]bool{"loadedge.go": true, "generated.go": true}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("file %s not loaded; loaded set: %v", name, got)
+		}
+	}
+	for _, name := range []string{"excluded.go", "loadedge_test.go"} {
+		if got[name] {
+			t.Errorf("file %s loaded but should be excluded", name)
+		}
+	}
+	if pkg.Types.Scope().Lookup("Generated") == nil {
+		t.Error("generated.go's Generated const missing from package scope")
+	}
+}
+
+// TestExpandSkipsTagExcludedDirs checks that a directory whose only Go files
+// are excluded by build constraints is treated as having no Go files.
+func TestExpandSkipsTagExcludedDirs(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "only_test.go"), "package p\n")
+	if hasGoFiles(dir) {
+		t.Errorf("hasGoFiles(%s) = true for a dir with only _test.go files", dir)
+	}
+	writeFile(t, filepath.Join(dir, "gated.go"), "//go:build lowmemlint_never\n\npackage p\n")
+	if hasGoFiles(dir) {
+		t.Errorf("hasGoFiles(%s) = true for a dir with only tag-excluded files", dir)
+	}
+	writeFile(t, filepath.Join(dir, "real.go"), "package p\n")
+	if !hasGoFiles(dir) {
+		t.Errorf("hasGoFiles(%s) = false with a buildable file present", dir)
+	}
+}

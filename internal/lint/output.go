@@ -6,8 +6,9 @@ import (
 	"io"
 )
 
-// ReportSchema identifies the -json output layout.
-const ReportSchema = "lowmemlint/v1"
+// ReportSchema identifies the -json output layout. v2 added the per-finding
+// "severity" field ("error" or "warning").
+const ReportSchema = "lowmemlint/v2"
 
 // Report is the machine-readable run outcome.
 type Report struct {
@@ -50,7 +51,11 @@ func (r Report) WriteJSON(w io.Writer) error {
 // entries, then a one-line summary.
 func (r Report) WriteText(w io.Writer) {
 	for _, d := range r.Findings {
-		fmt.Fprintf(w, "%s:%d:%d: %s(%s): %s\n", d.File, d.Line, d.Col, d.Code, d.Analyzer, d.Message)
+		mark := ""
+		if d.Severity == SeverityWarning {
+			mark = " [warning]"
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s(%s): %s%s\n", d.File, d.Line, d.Col, d.Code, d.Analyzer, d.Message, mark)
 	}
 	for _, e := range r.Stale {
 		fmt.Fprintf(w, "stale baseline entry (fix landed? regenerate with make lint-baseline): %s %s %q x%d\n",

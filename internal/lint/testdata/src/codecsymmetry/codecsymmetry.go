@@ -1,0 +1,58 @@
+//lint:simulator
+package codecsymmetry
+
+import "lowmemroute/internal/congest"
+
+const (
+	kindA congest.PayloadKind = iota + 1 // encode/decode codec mismatch
+	kindB                                // encoded word never decoded
+	kindC                                // unset word decoded; raw/raw W0 is symmetric and clean
+	kindD                                // declared words exceed the encoded footprint
+	kindE                                // decode through a helper: clean cross-function flow
+)
+
+func sink(int)      {}
+func sinkF(float64) {}
+
+func send(ctx *congest.Ctx, v int, w uint64) {
+	ctx.Send(v, congest.Payload{Kind: kindA, W0: congest.IntWord(v)}, 2)                         // want `kind kindA word W0 is encoded with IntWord/WordInt but decoded with FloatWord/WordFloat`
+	ctx.Send(v, congest.Payload{Kind: kindB, W0: congest.IntWord(v), W1: congest.IntWord(v)}, 3) // want `kind kindB encodes W1 here but no receiver decodes it`
+	ctx.Send(v, congest.Payload{Kind: kindC, W0: w}, 2)                                          // want `kind kindC send site leaves W1 unset but receivers decode it`
+	ctx.Send(v, congest.Payload{Kind: kindD, W0: congest.IntWord(v), W1: congest.IntWord(v)}, 5) // want `kind kindD send site declares 5 words but encodes 2 inline word\(s\)`
+	//lint:waive codecsymmetry fixture demonstrates the waiver escape hatch
+	ctx.Send(v, congest.Payload{Kind: kindD, W0: congest.IntWord(v), W1: congest.IntWord(v)}, 5)
+	ctx.Send(v, congest.Payload{Kind: kindE, W0: congest.IntWord(v), W1: congest.IntWord(v)}, 3)
+}
+
+// readE decodes its parameter's W1; the kind is attributed at the call site
+// below, where the kindE guard dominates — the sanctioned cross-function
+// flow.
+func readE(p *congest.Payload) int {
+	return congest.WordInt(p.W1)
+}
+
+func handle(ctx *congest.Ctx) {
+	in := ctx.In()
+	for i := range in {
+		p := &in[i].Payload
+		if p.Kind == kindA {
+			sinkF(congest.WordFloat(p.W0))
+		}
+		if p.Kind == kindB {
+			sink(congest.WordInt(p.W0))
+		}
+		if p.Kind == kindC {
+			raw := p.W0
+			_ = raw
+			sink(congest.WordInt(p.W1))
+		}
+		if p.Kind == kindD {
+			sink(congest.WordInt(p.W0))
+			sink(congest.WordInt(p.W1))
+		}
+		if p.Kind == kindE {
+			sink(congest.WordInt(p.W0))
+			sink(readE(p))
+		}
+	}
+}

@@ -1,0 +1,51 @@
+//lint:simulator
+package extownership
+
+import "lowmemroute/internal/congest"
+
+type state struct {
+	saved []uint64
+	table map[int][]uint64
+}
+
+var global []uint64
+
+// storeRaw retains its argument in a field: an escaping helper (LM006 flags
+// its call sites when handed an engine-owned slice).
+func (s *state) storeRaw(ext []uint64) {
+	s.saved = ext
+}
+
+// stash writes through its argument: a mutating helper.
+func stash(dst []uint64, v uint64) {
+	dst[0] = v
+}
+
+func handler(s *state, v int, ctx *congest.Ctx) {
+	in := ctx.In()
+	for i := range in {
+		p := &in[i].Payload
+		ext := p.Ext
+		s.saved = ext        // want `escapes the handler \(stored into a struct field\)`
+		s.table[v] = ext[2:] // want `escapes the handler \(stored into a map or slice element\)`
+		global = ext         // want `escapes the handler \(stored into a package variable\)`
+		ext[0] = 1           // want `is written through`
+		copy(ext, s.saved)   // want `is written through`
+		s.storeRaw(ext)      // want `escapes the handler \(stored into memory retained by the callee\)`
+		stash(p.Ext, 7)      // want `is written through`
+
+		// Sanctioned: copy-before-retain, in both forms.
+		buf := make([]uint64, len(ext))
+		copy(buf, ext)
+		s.saved = buf
+		s.saved = append(s.saved[:0], ext...)
+
+		// Sanctioned: relaying through Send (the engine clones Ext into the
+		// arena before the call returns).
+		ctx.Send(v, *p, 1+len(ext))
+
+		// Sanctioned: explicit waiver.
+		//lint:waive extownership fixture demonstrates the waiver escape hatch
+		global = ext
+	}
+}

@@ -1,0 +1,65 @@
+//lint:simulator
+package kindconformance
+
+import "lowmemroute/internal/congest"
+
+const (
+	kindPing congest.PayloadKind = iota + 1 // sent and matched: clean
+	kindPong                                // sent but never matched
+	kindIdle                                // want `kind kindIdle is declared but never sent or matched \(dead kind\)`
+	kindAck                                 // matched but never sent
+	kindBeat                                // broadcast kind, matched by its broadcast handler: clean
+)
+
+func use(int) {}
+
+func process(ctx *congest.Ctx, v int) {
+	if v == 0 {
+		ctx.Send(v+1, congest.Payload{Kind: kindPing, W0: congest.IntWord(v)}, 2)
+		ctx.Send(v+1, congest.Payload{Kind: kindPong, W0: congest.IntWord(v)}, 2) // want `kind kindPong is sent here \(send\) but no handler matches it`
+	}
+	in := ctx.In()
+	for i := range in {
+		p := &in[i].Payload
+		switch p.Kind { // want `kind switch is not exhaustive over the kinds sent in process and has no default: missing kindPong`
+		case kindPing:
+			use(congest.WordInt(p.W0))
+		case kindAck: // want `kind kindAck is matched here but never sent over a compatible transport \(dead arm\)`
+			use(congest.WordInt(p.W0))
+		}
+	}
+}
+
+// relay resolves the forwarded payload's kind through the != guard: the
+// cross-function half of the kindPing flow (sent in process, matched and
+// re-sent here).
+func relay(ctx *congest.Ctx, v int) {
+	in := ctx.In()
+	for i := range in {
+		p := &in[i].Payload
+		if p.Kind != kindPing {
+			continue
+		}
+		ctx.Send(v, *p, 2)
+	}
+}
+
+func beat(v int) congest.BroadcastMsg {
+	return congest.BroadcastMsg{Origin: v, Payload: congest.Payload{Kind: kindBeat, W0: congest.IntWord(v)}, Words: 2}
+}
+
+func onBeat(v int, m *congest.BroadcastMsg) {
+	p := &m.Payload
+	if p.Kind != kindBeat {
+		return
+	}
+	use(congest.WordInt(p.W0))
+	_ = v
+}
+
+// sendOpaque forwards a caller-constructed payload; the kind cannot be
+// resolved statically, so the warning is acknowledged with a waiver.
+func sendOpaque(ctx *congest.Ctx, v int, p congest.Payload) {
+	//lint:waive kindconformance caller-constructed payload, kind checked upstream
+	ctx.Send(v, p, 2)
+}

@@ -1,0 +1,7 @@
+//go:build lowmemlint_never
+
+package loadedge
+
+// This file is excluded by a build tag that is never set. Loading it would
+// fail type-checking: Marker collides with the declaration in loadedge.go.
+const Marker = "excluded"

@@ -1,0 +1,8 @@
+// Package loadedge exercises the loader's file-selection rules: the sibling
+// files in this directory are variously tag-excluded, test-only, or
+// generated, and load_test.go asserts exactly which ones are loaded.
+package loadedge
+
+// Marker is redeclared in excluded.go and loadedge_test.go; the package only
+// type-checks if the loader skips both.
+const Marker = "loadedge"

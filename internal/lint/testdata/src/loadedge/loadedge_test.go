@@ -1,0 +1,5 @@
+package loadedge
+
+// _test.go files are never loaded; like excluded.go this one would collide
+// with loadedge.go if it were.
+const Marker = "test"

@@ -124,7 +124,9 @@ func (b *distBuilder) phaseLocalSizes() error {
 			st.pjS[l] = st.acc[l] // s_0(x) = |T_x|
 			ctx.Mem().Charge(1)
 			if v != st.tree.Root {
-				ctx.Send(st.tree.Parent(v), congest.Payload{Kind: kindSize, W0: congest.IntWord(st.idx)}, pSizeWords)
+				// Portal children report size 0 explicitly; receivers decode
+				// W1 unconditionally.
+				ctx.Send(st.tree.Parent(v), congest.Payload{Kind: kindSize, W0: congest.IntWord(st.idx), W1: congest.IntWord(0)}, pSizeWords)
 			}
 			return
 		}
@@ -444,7 +446,8 @@ func (b *distBuilder) phaseGlobalLight() {
 			if !ok || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
 				return
 			}
-			st.tmpW[l] = p.Ext // L_i(a_i(v))
+			k := congest.WordInt(p.W2)
+			st.tmpW[l] = p.Ext[:2*k] // L_i(a_i(v)), 2*k == len(p.Ext)
 			st.tmpGot[l] = true
 		})
 		for _, st := range b.ts {
