@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke metrics-smoke table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke bench-dataplane bench-dataplane-json metrics-smoke table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -41,9 +41,11 @@ test:
 
 # Race-detector pass over the concurrent engine and the per-round goroutine
 # pools (the packages where a data race could actually hide), plus the
-# lock-free metrics registry whose histograms take concurrent writers.
+# lock-free metrics registry whose histograms take concurrent writers, the
+# COW data plane (readers hammering LookupBatch across table swaps), and the
+# pooled-packet router built on it.
 race:
-	$(GO) test -race ./internal/congest/... ./internal/treeroute/... ./internal/hopset/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/congest/... ./internal/treeroute/... ./internal/hopset/... ./internal/core/... ./internal/obs/... ./internal/dataplane/... ./internal/router/...
 
 # Full test run with the output captured (the repository's test record).
 test-record:
@@ -84,12 +86,32 @@ bench-diff:
 	fi
 	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) -max-regress $(MAX_REGRESS) -alloc-floor $(ALLOC_FLOOR)
 
+# Data-plane forwarding benchmarks (internal/dataplane + its traffic
+# generator): compiled-table flattening, single-worker and parallel batched
+# lookups, COW engine swaps, and the end-to-end Zipf traffic run. The
+# snapshot is diffed against the committed BENCH_PR8.json: allocs/op and the
+# "members" simulation metric are exact gates; ns/op and the p50/p99/p999
+# latency quantiles carry the -ns host-measured convention, so they are
+# tolerance-compared (MAX_REGRESS), never exact. The committed BENCH_PR8.json
+# was produced by `make bench-dataplane-json BENCH_TAG=PR8`.
+DATAPLANE_BENCHES = BenchmarkCompile|BenchmarkLookupBatch|BenchmarkEngineSwap|BenchmarkTraffic
+bench-dataplane:
+	$(GO) test -bench '$(DATAPLANE_BENCHES)' -benchmem ./internal/dataplane/... \
+	| $(GO) run ./cmd/benchdiff -emit -tag dataplane-local > /tmp/bench-dataplane.json
+	$(GO) run ./cmd/benchdiff -old BENCH_PR8.json -new /tmp/bench-dataplane.json -max-regress $(MAX_REGRESS) -alloc-floor $(ALLOC_FLOOR)
+
+bench-dataplane-json:
+	$(GO) test -bench '$(DATAPLANE_BENCHES)' -benchmem ./internal/dataplane/... \
+	| $(GO) run ./cmd/benchdiff -emit -tag $(BENCH_TAG) > BENCH_$(BENCH_TAG).json
+	@echo wrote BENCH_$(BENCH_TAG).json
+
 # One iteration of every micro-benchmark plus a snapshot round-trip through
 # cmd/benchdiff: catches benchmarks that no longer compile and bench output
 # the harness can no longer parse, without trusting noisy timings.
 bench-smoke:
 	{ $(GO) test -bench 'BenchmarkRunFlood|BenchmarkRunSparse|BenchmarkDelivery' -benchtime 1x -benchmem ./internal/congest; \
-	  $(GO) test -bench '$(HANDLER_BENCHES)' -benchtime 1x -benchmem ./internal/hopset ./internal/core ./internal/treeroute; } \
+	  $(GO) test -bench '$(HANDLER_BENCHES)' -benchtime 1x -benchmem ./internal/hopset ./internal/core ./internal/treeroute; \
+	  $(GO) test -bench '$(DATAPLANE_BENCHES)' -benchtime 1x -benchmem ./internal/dataplane/...; } \
 	| $(GO) run ./cmd/benchdiff -emit -tag ci-smoke > /tmp/bench-smoke.json
 	$(GO) run ./cmd/benchdiff -old /tmp/bench-smoke.json -new /tmp/bench-smoke.json
 

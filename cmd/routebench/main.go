@@ -13,6 +13,7 @@
 //	routebench -trace run.json -trace-format chrome  # open in Perfetto
 //	routebench -faults drop=0.05,seed=1 -schemes paper  # E10: lossy build
 //	routebench -strict                    # exit 1 if any sampled pair fails
+//	routebench -traffic -n 1024 -k 3      # E11: data-plane traffic generator
 package main
 
 import (
@@ -27,11 +28,14 @@ import (
 	"lowmemroute/internal/cliutil"
 	"lowmemroute/internal/congest"
 	"lowmemroute/internal/core"
+	"lowmemroute/internal/dataplane"
+	"lowmemroute/internal/dataplane/traffic"
 	"lowmemroute/internal/faults"
 	"lowmemroute/internal/graph"
 	"lowmemroute/internal/metrics"
 	"lowmemroute/internal/obs"
 	"lowmemroute/internal/trace"
+	"lowmemroute/internal/tz"
 )
 
 func main() {
@@ -52,6 +56,14 @@ func main() {
 
 		faultSpec = flag.String("faults", "", "inject faults into the paper scheme's build, e.g. drop=0.05,delay=2,dup=0.01,seed=7,crash=3,17 (table1 and stretch sweeps)")
 		strict    = flag.Bool("strict", false, "exit non-zero when any sampled pair fails to route")
+
+		trafficMode     = flag.Bool("traffic", false, "E11: compile the scheme into the flat-array data plane and drive it with the deterministic Zipf traffic generator (overrides -sweep)")
+		trafficWorkers  = flag.String("traffic-workers", "1,2,4", "comma-separated worker counts to sweep")
+		trafficSkew     = flag.String("traffic-skew", "0,0.8,1.2", "comma-separated Zipf skews of the destination distribution (0 = uniform)")
+		trafficBatch    = flag.Int("traffic-batch", 256, "lookups per LookupBatch call")
+		trafficLookups  = flag.Int64("traffic-lookups", 1_000_000, "lookup budget per configuration; 0 = run until -traffic-duration")
+		trafficDuration = flag.Duration("traffic-duration", 0, "wall-clock cap per configuration (0 = budget-bounded only)")
+		trafficRate     = flag.Float64("traffic-rate", 0, "throttle to about this many lookups/sec across workers (0 = unthrottled)")
 	)
 	flag.Parse()
 
@@ -99,15 +111,29 @@ func main() {
 	}
 
 	failures := 0
-	switch *sweep {
-	case "table1":
+	switch {
+	case *trafficMode:
+		tw, err := parseInts(*trafficWorkers)
+		if err != nil {
+			fatalf("bad -traffic-workers: %v", err)
+		}
+		tsk, err := parseFloats(*trafficSkew)
+		if err != nil {
+			fatalf("bad -traffic-skew: %v", err)
+		}
+		if *trafficLookups <= 0 && *trafficDuration <= 0 {
+			fatalf("-traffic needs -traffic-lookups > 0 or -traffic-duration > 0")
+		}
+		runTraffic(graph.Family(*family), ns, ks, *seed, tw, tsk,
+			*trafficBatch, *trafficLookups, *trafficDuration, *trafficRate)
+	case *sweep == "table1":
 		failures = runTable1(graph.Family(*family), ns, ks, *seed, *pairs, schemeFilter, rec, plan, reg)
-	case "k":
+	case *sweep == "k":
 		if plan != nil && !plan.Empty() {
 			fatalf("-faults supports the table1 and stretch sweeps only")
 		}
 		runMemorySweep(graph.Family(*family), ns, ks, *seed)
-	case "stretch":
+	case *sweep == "stretch":
 		failures = runStretchHistogram(graph.Family(*family), ns, ks, *seed, *pairs, rec, plan, reg)
 	default:
 		fatalf("unknown sweep %q", *sweep)
@@ -273,6 +299,56 @@ func runStretchHistogram(family graph.Family, ns, ks []int, seed int64, pairs in
 	return totalFailures
 }
 
+// runTraffic is E11: compile a built scheme into the flat-array data plane
+// and sweep the deterministic Zipf traffic generator over worker counts and
+// skews. The workload columns on stdout (lookups, arrived, no-route) are
+// deterministic for a given seed; throughput and latency quantiles are host
+// wall times and go to stderr with the other host-side diagnostics.
+func runTraffic(family graph.Family, ns, ks []int, seed int64, workers []int, skews []float64, batch int, lookups int64, duration time.Duration, rate float64) {
+	fmt.Printf("E11: data-plane traffic, compiled tables (%s)\n\n", family)
+	headers := []string{"n", "k", "workers", "skew", "batch", "lookups", "arrived", "no-route"}
+	var rows [][]string
+	for _, n := range ns {
+		for _, k := range ks {
+			g, err := graph.Generate(family, n, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				fatalf("generate: %v", err)
+			}
+			s, err := tz.Build(g, tz.Options{K: k, Seed: seed})
+			if err != nil {
+				fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			eng := dataplane.NewEngine(dataplane.Compile(s.Scheme))
+			for _, w := range workers {
+				for _, sk := range skews {
+					lat := obs.NewRegistry().Histogram("traffic_lookup_seconds", 1e-9)
+					rep := traffic.Run(eng, traffic.Config{
+						Workers:  w,
+						Batch:    batch,
+						Skew:     sk,
+						Seed:     uint64(seed),
+						Lookups:  lookups,
+						Duration: duration,
+						Rate:     rate,
+					}, lat)
+					rows = append(rows, []string{
+						strconv.Itoa(n), strconv.Itoa(k),
+						strconv.Itoa(rep.Workers), fmt.Sprintf("%.2f", sk), strconv.Itoa(rep.Batch),
+						metrics.FormatInt(rep.Lookups), metrics.FormatInt(rep.Arrived), metrics.FormatInt(rep.NoRoute),
+					})
+					q := lat.Snapshot()
+					fmt.Fprintf(os.Stderr, "traffic n=%d k=%d workers=%d skew=%.2f: %.2fM lookups/s  p50=%s p99=%s p999=%s max=%s\n",
+						n, k, rep.Workers, sk, rep.Rate()/1e6,
+						time.Duration(q.Quantile(0.5)), time.Duration(q.Quantile(0.99)),
+						time.Duration(q.Quantile(0.999)), time.Duration(q.Max))
+				}
+			}
+		}
+	}
+	fmt.Print(metrics.FormatTable(headers, rows))
+	fmt.Printf("\ndestinations are Zipf-ranked by vertex id; lookup latency quantiles are on stderr (host-measured)\n")
+}
+
 // faultSummary renders fault counters as one human line.
 func faultSummary(c faults.Counters) string {
 	return fmt.Sprintf("dropped %s (retried %s, lost %s), duplicated %s, delay rounds %s, discarded %s, retry words %s",
@@ -285,6 +361,18 @@ func parseInts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
 			return nil, err
 		}

@@ -106,12 +106,26 @@ func (s *Scheme) AddLabelEntry(v, level, root int, ts *treeroute.Scheme) {
 	s.Labels[v].Entries = append(s.Labels[v].Entries, e)
 }
 
+// TreeWeights returns the per-vertex up-edge weights of the cluster tree
+// rooted at center (weights[v] is the weight of v's edge to its tree
+// parent; 0 at the root). Nil when the scheme holds no such tree. The
+// returned slice is the scheme's own storage — callers must not mutate it.
+func (s *Scheme) TreeWeights(center int) []float64 { return s.weights[center] }
+
 // Route walks a message from src to dst: it picks the lowest level whose
 // pivot cluster contains both endpoints and follows the exact tree-routing
 // scheme of that cluster tree. Returns the vertex path and weighted length.
 func (s *Scheme) Route(src, dst int) ([]int, float64, error) {
+	return s.RouteAppend(src, dst, nil)
+}
+
+// RouteAppend is Route with a caller-provided path buffer: the vertex path
+// is appended to path (which may be nil or a reused buffer with its length
+// reset to 0) so measurement loops issuing many queries allocate only on
+// buffer growth.
+func (s *Scheme) RouteAppend(src, dst int, path []int) ([]int, float64, error) {
 	if src == dst {
-		return []int{src}, 0, nil
+		return append(path, src), 0, nil
 	}
 	lab := s.Labels[dst]
 	for _, e := range lab.Entries {
@@ -121,31 +135,31 @@ func (s *Scheme) Route(src, dst int) ([]int, float64, error) {
 		if _, ok := s.Tables[src].Trees[e.Root]; !ok {
 			continue
 		}
-		return s.routeInTree(e.Root, src, dst, e.TreeLabel)
+		return s.routeInTree(e.Root, src, dst, e.TreeLabel, path)
 	}
-	return nil, 0, fmt.Errorf("clusterroute: no common cluster for %d -> %d", src, dst)
+	return path, 0, fmt.Errorf("clusterroute: no common cluster for %d -> %d", src, dst)
 }
 
-func (s *Scheme) routeInTree(root, src, dst int, target treeroute.Label) ([]int, float64, error) {
+func (s *Scheme) routeInTree(root, src, dst int, target treeroute.Label, path []int) ([]int, float64, error) {
 	weights := s.weights[root]
-	path := []int{src}
+	path = append(path, src)
 	var total float64
 	cur := src
 	limit := 2*len(s.Tables) + 2
 	for steps := 0; ; steps++ {
 		if steps > limit {
-			return nil, 0, fmt.Errorf("clusterroute: routing loop in tree %d from %d to %d", root, src, dst)
+			return path, 0, fmt.Errorf("clusterroute: routing loop in tree %d from %d to %d", root, src, dst)
 		}
 		tab, ok := s.Tables[cur].Trees[root]
 		if !ok {
-			return nil, 0, fmt.Errorf("clusterroute: vertex %d lacks table for tree %d", cur, root)
+			return path, 0, fmt.Errorf("clusterroute: vertex %d lacks table for tree %d", cur, root)
 		}
 		next, arrived := treeroute.NextHop(cur, tab, target)
 		if arrived {
 			return path, total, nil
 		}
 		if next == graph.NoVertex {
-			return nil, 0, fmt.Errorf("clusterroute: dead end at %d in tree %d", cur, root)
+			return path, 0, fmt.Errorf("clusterroute: dead end at %d in tree %d", cur, root)
 		}
 		if s.ClusterTrees[root].Parent(cur) == next {
 			total += weights[cur]

@@ -1,0 +1,307 @@
+package dataplane
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"lowmemroute/internal/baseline"
+	"lowmemroute/internal/clusterroute"
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/core"
+	"lowmemroute/internal/graph"
+	"lowmemroute/internal/tz"
+)
+
+// buildSchemes constructs every clusterroute-backed Table 1 scheme row over
+// g — the compiled data plane is defined exactly over clusterroute.Scheme,
+// so these are the rows whose walks it must reproduce byte-for-byte.
+func buildSchemes(t *testing.T, g *graph.Graph, k int, seed int64) map[string]*clusterroute.Scheme {
+	t.Helper()
+	out := make(map[string]*clusterroute.Scheme)
+
+	s, err := tz.Build(g, tz.Options{K: k, Seed: seed})
+	if err != nil {
+		t.Fatalf("tz: %v", err)
+	}
+	out["tz"] = s.Scheme
+
+	lp, err := baseline.BuildLP15(congest.New(g, congest.WithSeed(seed)), baseline.Options{K: k, Seed: seed})
+	if err != nil {
+		t.Fatalf("lp15: %v", err)
+	}
+	out["lp15"] = lp
+
+	p, err := core.Build(congest.New(g, congest.WithSeed(seed)), core.Options{K: k, Seed: seed})
+	if err != nil {
+		t.Fatalf("paper: %v", err)
+	}
+	out["paper"] = p.Scheme
+	return out
+}
+
+func equalPaths(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCompiledEquivalence pins the tentpole claim: for every vertex pair of
+// every clusterroute-backed Table 1 scheme row, the compiled table's walk is
+// byte-identical to the interpretive Scheme.Route — same path, bit-equal
+// float64 weight, and errors on exactly the same pairs.
+func TestCompiledEquivalence(t *testing.T) {
+	cases := []struct {
+		family graph.Family
+		n, k   int
+	}{
+		{graph.FamilyErdosRenyi, 72, 2},
+		{graph.FamilyErdosRenyi, 72, 3},
+		{graph.FamilyGeometric, 64, 3},
+		{graph.FamilyGrid, 64, 2},
+	}
+	for _, tc := range cases {
+		g, err := graph.Generate(tc.family, tc.n, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatalf("generate: %v", err)
+		}
+		for name, s := range buildSchemes(t, g, tc.k, 11) {
+			tab := Compile(s)
+			if tab.N() != tc.n {
+				t.Fatalf("%s n=%d k=%d: compiled N=%d", name, tc.n, tc.k, tab.N())
+			}
+			var buf []int
+			for src := 0; src < tc.n; src++ {
+				for dst := 0; dst < tc.n; dst++ {
+					wantPath, wantW, wantErr := s.Route(src, dst)
+					var gotW float64
+					var gotErr error
+					buf, gotW, gotErr = tab.RouteAppend(src, dst, buf[:0])
+					if (wantErr == nil) != (gotErr == nil) {
+						t.Fatalf("%s n=%d k=%d %d->%d: err %v vs %v", name, tc.n, tc.k, src, dst, wantErr, gotErr)
+					}
+					if wantErr != nil {
+						continue
+					}
+					if !equalPaths(wantPath, buf) {
+						t.Fatalf("%s n=%d k=%d %d->%d: path %v vs %v", name, tc.n, tc.k, src, dst, wantPath, buf)
+					}
+					if wantW != gotW {
+						t.Fatalf("%s n=%d k=%d %d->%d: weight %v vs %v", name, tc.n, tc.k, src, dst, wantW, gotW)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLookupMatchesRoute checks the single-decision API against the full
+// walk: starting from Lookup and stepping with Step must retrace exactly
+// the path Route returns.
+func TestLookupMatchesRoute(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 80, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tz.Build(g, tz.Options{K: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Compile(s.Scheme)
+	for src := 0; src < 80; src++ {
+		for dst := 0; dst < 80; dst++ {
+			path, _, err := tab.Route(src, dst)
+			if err != nil {
+				continue
+			}
+			hop := tab.Lookup(src, Label(dst))
+			if src == dst {
+				if !hop.Arrived || hop.Next != int32(src) {
+					t.Fatalf("self lookup %d: %+v", src, hop)
+				}
+				continue
+			}
+			walked := []int{src}
+			cur := int(hop.Next)
+			for !hop.Arrived {
+				walked = append(walked, cur)
+				next, arrived, ok := tab.Step(cur, hop.Entry)
+				if !ok {
+					t.Fatalf("%d->%d: step at %d left the cluster", src, dst, cur)
+				}
+				if arrived {
+					break
+				}
+				cur = int(next)
+			}
+			if !equalPaths(path, walked) {
+				t.Fatalf("%d->%d: Route %v vs Lookup/Step %v", src, dst, path, walked)
+			}
+		}
+	}
+}
+
+// TestLookupBatch checks batch semantics: index-aligned results identical
+// to per-call Lookup, truncation to the shorter slice.
+func TestLookupBatch(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 64, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tz.Build(g, tz.Options{K: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Compile(s.Scheme)
+	dst := make([]Label, 64)
+	for i := range dst {
+		dst[i] = Label(i)
+	}
+	out := make([]NextHop, 64)
+	if got := tab.LookupBatch(7, dst, out); got != 64 {
+		t.Fatalf("batch returned %d", got)
+	}
+	for i := range dst {
+		if want := tab.Lookup(7, dst[i]); out[i] != want {
+			t.Fatalf("batch[%d] = %+v, lookup = %+v", i, out[i], want)
+		}
+	}
+	if got := tab.LookupBatch(7, dst, out[:10]); got != 10 {
+		t.Fatalf("truncated batch returned %d", got)
+	}
+}
+
+// TestLookupAllocFree pins the zero-allocation contract of the hot path.
+func TestLookupAllocFree(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 64, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tz.Build(g, tz.Options{K: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Compile(s.Scheme)
+	dst := make([]Label, 64)
+	for i := range dst {
+		dst[i] = Label(i)
+	}
+	out := make([]NextHop, 64)
+	if a := testing.AllocsPerRun(100, func() {
+		tab.LookupBatch(3, dst, out)
+	}); a != 0 {
+		t.Fatalf("LookupBatch allocates %v per run", a)
+	}
+	var buf []int
+	if a := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, _, err = tab.RouteAppend(3, 42, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("RouteAppend with a warm buffer allocates %v per run", a)
+	}
+}
+
+// TestEngineSwapUnderLoad hammers LookupBatch from several goroutines while
+// another goroutine keeps swapping freshly compiled tables in (the COW
+// rebuild path). Run under -race this is the torn-table detector; the
+// assertions check every reader always sees one complete, self-consistent
+// snapshot (decisions match a direct lookup against the pinned table).
+func TestEngineSwapUnderLoad(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 64, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tz.Build(g, tz.Options{K: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(Compile(s.Scheme))
+
+	const readers = 4
+	const rounds = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			dst := make([]Label, 64)
+			for i := range dst {
+				dst[i] = Label(i)
+			}
+			out := make([]NextHop, 64)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tab := eng.Table() // pin one snapshot for the whole batch
+				src := (r*31 + i) % 64
+				tab.LookupBatch(src, dst, out)
+				for j := range out {
+					if want := tab.Lookup(src, dst[j]); out[j] != want {
+						t.Errorf("reader %d: torn decision at %d->%d", r, src, j)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for i := 0; i < rounds; i++ {
+		old := eng.Swap(Compile(s.Scheme))
+		if old == nil {
+			t.Fatal("swap lost the previous table")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCompileShape sanity-checks the flat layout: member counts match the
+// source maps, membership roots are strictly ascending per vertex, and
+// label entries preserve level order.
+func TestCompileShape(t *testing.T) {
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 48, rand.New(rand.NewSource(13)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := tz.Build(g, tz.Options{K: 3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Compile(s.Scheme)
+	wantMems := 0
+	for _, vt := range s.Tables {
+		wantMems += len(vt.Trees)
+	}
+	if tab.MemberCount() != wantMems {
+		t.Fatalf("MemberCount %d, want %d", tab.MemberCount(), wantMems)
+	}
+	for v := 0; v < tab.N(); v++ {
+		lo, hi := tab.memStart[v], tab.memStart[v+1]
+		for i := lo + 1; i < hi; i++ {
+			if tab.memRoot[i-1] >= tab.memRoot[i] {
+				t.Fatalf("vertex %d: membership roots not ascending", v)
+			}
+		}
+		want := 0
+		for _, e := range s.Labels[v].Entries {
+			if e.InCluster {
+				want++
+			}
+		}
+		if got := int(tab.labStart[v+1] - tab.labStart[v]); got != want {
+			t.Fatalf("vertex %d: %d label entries, want %d", v, got, want)
+		}
+	}
+}

@@ -134,6 +134,13 @@ func TestMeterAccountFixture(t *testing.T) {
 	runFixture(t, "meteraccount", []string{"meteraccount"})
 }
 
+// TestMeterAccountDataPlaneExempt pins the dataplane carve-out: the fixture
+// is simulator-scoped and allocates in every flagged shape, yet LM002 must
+// produce zero findings (the fixture carries no // want comments).
+func TestMeterAccountDataPlaneExempt(t *testing.T) {
+	runFixture(t, "dataplane", []string{"meteraccount"})
+}
+
 func TestDeterminismFixture(t *testing.T) {
 	runFixture(t, "determinism", []string{"determinism"})
 }

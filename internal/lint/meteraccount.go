@@ -34,6 +34,14 @@ import (
 // simulated vertex's memory, so the paper's bounds don't cover them. The
 // exemption is scoped to the call's argument list; it must not leak to
 // neighbouring allocations.
+//
+// A fourth carve-out: the dataplane package is exempt wholesale. Its
+// compiled route tables are immutable after Compile — at handler time the
+// package only reads flat arrays shared through an atomic pointer, and the
+// arrays themselves are flattened on the host from a Scheme whose memory
+// was already metered when the control plane built it. Charging the
+// flattening again would double-count the table against the paper's
+// per-vertex bounds, so LM002 skips the package entirely.
 func analyzerMeterAccount() *Analyzer {
 	return &Analyzer{
 		Name: "meteraccount",
@@ -45,8 +53,10 @@ func analyzerMeterAccount() *Analyzer {
 
 func runMeterAccount(p *Pass) {
 	// The congest engine itself manages the meters; the rule targets the
-	// algorithm phase packages.
-	if !simulatorScoped(p.Pkg) || pathBase(p.Pkg.Path) == "congest" {
+	// algorithm phase packages. The dataplane package is read-only at
+	// handler time (immutable compiled tables, see the doc comment), so the
+	// allocation rule skips it wholesale.
+	if !simulatorScoped(p.Pkg) || pathBase(p.Pkg.Path) == "congest" || pathBase(p.Pkg.Path) == "dataplane" {
 		return
 	}
 	info := p.Pkg.Info

@@ -1,0 +1,28 @@
+//lint:simulator
+package dataplane
+
+import (
+	"lowmemroute/internal/congest"
+)
+
+// Table mimics the real dataplane compiled table: flat arrays, immutable
+// once built, shared with readers through an atomic pointer.
+type Table struct {
+	memStart []int32
+	memRoot  []int32
+	byRoot   map[int]int32
+}
+
+// recompile is deliberately Ctx-shaped (the handler-detection trigger) and
+// allocates in every way LM002 knows how to flag: make, append, composite
+// literal, map insert. The dataplane carve-out must keep all of them
+// silent — compiled tables are flattened on the host from an
+// already-metered Scheme, so none of this is unaccounted vertex memory.
+// Zero findings are expected in this fixture.
+func recompile(v int, ctx *congest.Ctx, tab *Table) {
+	tab.memStart = make([]int32, v+1)
+	tab.memRoot = append(tab.memRoot, int32(v))
+	lits := []int32{int32(v)}
+	_ = lits
+	tab.byRoot[v] = int32(v)
+}

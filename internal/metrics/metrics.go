@@ -21,6 +21,25 @@ type WeightedRouter interface {
 	Route(src, dst int) ([]int, float64, error)
 }
 
+// AppendRouter is the buffer-reusing variant of WeightedRouter. Routers that
+// implement it (all clusterroute-backed schemes and the compiled data plane)
+// let the measurement loops below route thousands of pairs without a per-
+// query path allocation.
+type AppendRouter interface {
+	RouteAppend(src, dst int, path []int) ([]int, float64, error)
+}
+
+// routeFunc adapts a router to a single buffer-threading call shape,
+// preferring RouteAppend when available.
+func routeFunc(router WeightedRouter) func(src, dst int, path []int) ([]int, float64, error) {
+	if ar, ok := router.(AppendRouter); ok {
+		return ar.RouteAppend
+	}
+	return func(src, dst int, _ []int) ([]int, float64, error) {
+		return router.Route(src, dst)
+	}
+}
+
 // StretchStats summarises routing stretch over a set of sampled pairs.
 type StretchStats struct {
 	Max, Avg float64
@@ -55,6 +74,8 @@ func MeasureStretchObserved(g *graph.Graph, router WeightedRouter, pairs int, r 
 		exactCache[u] = d
 		return d
 	}
+	route := routeFunc(router)
+	var buf []int
 	var sum float64
 	for i := 0; i < pairs; i++ {
 		u, v := r.Intn(n), r.Intn(n)
@@ -65,7 +86,9 @@ func MeasureStretchObserved(g *graph.Graph, router WeightedRouter, pairs int, r 
 		if lat != nil {
 			began = time.Now()
 		}
-		_, w, err := router.Route(u, v)
+		var w float64
+		var err error
+		buf, w, err = route(u, v, buf[:0])
 		if lat != nil {
 			lat.Record(int64(time.Since(began)))
 		}
@@ -98,12 +121,16 @@ func StretchHistogram(g *graph.Graph, router WeightedRouter, pairs, buckets int,
 	hist := make([]int, buckets)
 	failures := 0
 	n := g.N()
+	route := routeFunc(router)
+	var buf []int
 	for i := 0; i < pairs; i++ {
 		u, v := r.Intn(n), r.Intn(n)
 		if u == v {
 			continue
 		}
-		_, w, err := router.Route(u, v)
+		var w float64
+		var err error
+		buf, w, err = route(u, v, buf[:0])
 		if err != nil {
 			failures++
 			continue

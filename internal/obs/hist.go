@@ -87,6 +87,28 @@ func (h *Histogram) Record(v int64) {
 	}
 }
 
+// RecordN adds n identical observations of v in one wait-free pass — the
+// batch-amortized form of Record, used by callers that time a whole batch
+// and attribute the mean cost to each element. n <= 0 is a no-op; negative
+// values clamp to zero.
+func (h *Histogram) RecordN(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * n)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Count returns the number of observations so far.
 func (h *Histogram) Count() int64 {
 	if h == nil {

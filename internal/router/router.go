@@ -3,11 +3,15 @@
 // carrying only their destination label - the routing phase of the paper
 // executed as real concurrent message passing rather than a host-side walk.
 //
-// Every node's goroutine knows nothing but its own routing table and its
-// link endpoints; each forwarding decision calls the same Thorup-Zwick rule
-// (clusterroute/treeroute NextHop) the simulator-side router uses. The
-// runtime has a managed lifecycle: Close stops every goroutine and waits
-// for them (no fire-and-forget).
+// Forwarding decisions come from the compiled data plane
+// (internal/dataplane): New flattens the scheme's pointer-rich tables into
+// immutable flat arrays once, and every node goroutine makes its per-hop
+// decision with an allocation-free array walk instead of re-running the
+// interpretive map-backed NextHop rule. Packets themselves are recycled
+// through a sync.Pool - trace, crankback, and tried-tree buffers survive
+// across sends - so a steady packet stream allocates only the caller-facing
+// delivery path. The runtime has a managed lifecycle: Close stops every
+// goroutine and waits for them (no fire-and-forget).
 //
 // The network degrades gracefully under node crashes (Crash/Recover): a node
 // about to forward into a crashed neighbor re-chooses the packet's cluster
@@ -27,22 +31,22 @@ import (
 	"time"
 
 	"lowmemroute/internal/clusterroute"
-	"lowmemroute/internal/graph"
+	"lowmemroute/internal/dataplane"
 	"lowmemroute/internal/obs"
-	"lowmemroute/internal/treeroute"
 )
 
-// Packet is a message in flight: the destination label is its address; the
-// header carries the cluster tree chosen at the source; Trace accumulates
-// the vertex path for observability.
+// Packet is a message in flight: the destination vertex is its address; the
+// header carries the compiled label entry (cluster tree) chosen at the
+// source; Trace accumulates the vertex path for observability. Packets are
+// pooled - all reference-typed fields are reused across sends.
 type Packet struct {
-	Dst      clusterroute.Label
-	Root     int // cluster tree the packet travels in; NoVertex until chosen
-	Target   treeroute.Label
+	dst      int32 // destination vertex
+	root     int32 // cluster tree the packet travels in; None until chosen
+	entry    int32 // compiled label-entry index behind root
 	Trace    []int
-	tried    []int // roots abandoned because the tree ran into a crash
-	upstream []int // hops walked, for crankback after a downstream crash
-	crank    bool  // walking backwards looking for a usable fallback tree
+	tried    []int32 // roots abandoned because the tree ran into a crash
+	upstream []int   // hops walked, for crankback after a downstream crash
+	crank    bool    // walking backwards looking for a usable fallback tree
 	reroutes int
 	done     chan Delivery
 	started  time.Time
@@ -63,11 +67,15 @@ type Delivery struct {
 
 // Network is a running packet-forwarding overlay.
 type Network struct {
-	scheme *clusterroute.Scheme
-	inbox  []chan *Packet
-	down   []atomic.Bool
-	quit   chan struct{}
-	wg     sync.WaitGroup
+	tab   *dataplane.Table
+	inbox []chan *Packet
+	down  []atomic.Bool
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	// pool recycles packets (and their trace/tried/upstream buffers)
+	// between sends.
+	pool sync.Pool
 
 	// lat, when non-nil, receives every completed packet's end-to-end
 	// wall latency in nanoseconds (ObserveLatency).
@@ -79,21 +87,49 @@ type Network struct {
 // ErrClosed is returned by Send after Close.
 var ErrClosed = errors.New("router: network closed")
 
-// queueDepth bounds each node's inbox; senders block when a node is
-// saturated (backpressure, like a real forwarding queue).
-const queueDepth = 64
+// defaultQueueDepth bounds each node's inbox unless WithQueueDepth says
+// otherwise; senders block when a node is saturated (backpressure, like a
+// real forwarding queue).
+const defaultQueueDepth = 64
 
-// New starts one forwarding goroutine per node of the scheme.
-func New(scheme *clusterroute.Scheme) *Network {
-	n := len(scheme.Tables)
+// Option configures a Network at construction.
+type Option func(*config)
+
+type config struct {
+	queueDepth int
+}
+
+// WithQueueDepth sets the per-node inbox capacity (default 64). Depth <= 0
+// panics: an unbuffered inbox deadlocks a node forwarding to itself.
+func WithQueueDepth(depth int) Option {
+	return func(c *config) {
+		if depth <= 0 {
+			panic(fmt.Sprintf("router: queue depth must be positive, got %d", depth))
+		}
+		c.queueDepth = depth
+	}
+}
+
+// New compiles the scheme into a flat data-plane table and starts one
+// forwarding goroutine per node.
+func New(scheme *clusterroute.Scheme, opts ...Option) *Network {
+	cfg := config{queueDepth: defaultQueueDepth}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tab := dataplane.Compile(scheme)
+	n := tab.N()
 	net := &Network{
-		scheme: scheme,
-		inbox:  make([]chan *Packet, n),
-		down:   make([]atomic.Bool, n),
-		quit:   make(chan struct{}),
+		tab:   tab,
+		inbox: make([]chan *Packet, n),
+		down:  make([]atomic.Bool, n),
+		quit:  make(chan struct{}),
+	}
+	net.pool.New = func() any {
+		return &Packet{done: make(chan Delivery, 1)}
 	}
 	for v := 0; v < n; v++ {
-		net.inbox[v] = make(chan *Packet, queueDepth)
+		net.inbox[v] = make(chan *Packet, cfg.queueDepth)
 	}
 	for v := 0; v < n; v++ {
 		net.wg.Add(1)
@@ -126,64 +162,54 @@ func (net *Network) forward(v int, p *Packet) {
 	// Crankback lengthens the walk by up to one round trip per abandoned
 	// tree, so the TTL scales with the trees tried (the clean budget is
 	// unchanged when nothing was abandoned).
-	if len(p.Trace) > (2*len(net.scheme.Tables)+2)*(1+len(p.tried)) {
+	if len(p.Trace) > (2*net.tab.N()+2)*(1+len(p.tried)) {
 		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: ttl exceeded at %d", v)})
 		return
 	}
-	tab := net.scheme.Tables[v]
 
 	// Choose the cluster tree once, at the source: the lowest level whose
-	// pivot cluster contains both endpoints.
-	if p.Root == graph.NoVertex {
-		if p.Dst.Vertex == v {
+	// pivot cluster contains both endpoints (dataplane.Lookup's rule).
+	if p.root == dataplane.None {
+		hop := net.tab.Lookup(v, dataplane.Label(p.dst))
+		if hop.Arrived {
 			p.finish(Delivery{Path: p.Trace})
 			return
 		}
-		for _, e := range p.Dst.Entries {
-			if !e.InCluster {
-				continue
-			}
-			if _, ok := tab.Trees[e.Root]; ok {
-				p.Root = e.Root
-				p.Target = e.TreeLabel
-				break
-			}
-		}
-		if p.Root == graph.NoVertex {
+		if hop.Next == dataplane.None {
 			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: no common cluster at source %d", v)})
 			return
 		}
+		p.root, p.entry = hop.Root, hop.Entry
 	}
 
-	var next int
+	var next int32
 	if p.crank {
 		// Walking backwards after a downstream crash: try to switch trees
 		// here, else keep cranking toward the source.
 		p.crank = false
-		next = net.reroute(v, p, tab)
-		if next == graph.NoVertex {
+		next = net.reroute(v, p)
+		if next == dataplane.None {
 			net.crankback(v, p)
 			return
 		}
 	} else {
-		tt, ok := tab.Trees[p.Root]
+		var arrived, ok bool
+		next, arrived, ok = net.tab.Step(v, p.entry)
 		if !ok {
-			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: node %d lacks tree %d", v, p.Root)})
+			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: node %d lacks tree %d", v, p.root)})
 			return
 		}
-		var arrived bool
-		next, arrived = treeroute.NextHop(v, tt, p.Target)
 		if arrived {
 			p.finish(Delivery{Path: p.Trace})
 			return
 		}
-		if next == graph.NoVertex {
+		if next == dataplane.None {
 			p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf("router: dead end at %d", v)})
 			return
 		}
 		if net.down[next].Load() {
-			next = net.reroute(v, p, tab)
-			if next == graph.NoVertex {
+			next = net.reroute(v, p)
+			if next == dataplane.None {
 				net.crankback(v, p)
 				return
 			}
@@ -205,14 +231,14 @@ func (net *Network) forward(v int, p *Packet) {
 func (net *Network) crankback(v int, p *Packet) {
 	if len(p.upstream) == 0 {
 		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf(
-			"router: no usable cluster tree reaches %d after crashes (tried %v)", p.Dst.Vertex, p.tried)})
+			"router: no usable cluster tree reaches %d after crashes (tried %v)", p.dst, p.tried)})
 		return
 	}
 	prev := p.upstream[len(p.upstream)-1]
 	p.upstream = p.upstream[:len(p.upstream)-1]
 	if net.down[prev].Load() {
 		p.finish(Delivery{Path: p.Trace, Err: fmt.Errorf(
-			"router: upstream hop %d crashed during crankback to %d", prev, p.Dst.Vertex)})
+			"router: upstream hop %d crashed during crankback to %d", prev, p.dst)})
 		return
 	}
 	p.crank = true
@@ -224,35 +250,33 @@ func (net *Network) crankback(v int, p *Packet) {
 }
 
 // reroute re-chooses the packet's cluster tree at v after the current tree
-// ran into a crashed next hop. Candidates come from the destination label in
-// level order (so the fallback is the lowest-stretch tree still usable); a
-// tree qualifies if v's table holds it, it was not abandoned already, and its
-// next hop from v is alive. Returns the new next hop, or NoVertex when no
-// candidate remains.
-func (net *Network) reroute(v int, p *Packet, tab clusterroute.Table) int {
-	if !p.hasTried(p.Root) {
-		p.tried = append(p.tried, p.Root)
+// ran into a crashed next hop. Candidates come from the destination's
+// compiled label entries in level order (so the fallback is the
+// lowest-stretch tree still usable); a tree qualifies if v's table holds it,
+// it was not abandoned already, and its next hop from v is alive. Returns
+// the new next hop, or None when no candidate remains.
+func (net *Network) reroute(v int, p *Packet) int32 {
+	if !p.hasTried(p.root) {
+		p.tried = append(p.tried, p.root)
 	}
-	for _, e := range p.Dst.Entries {
-		if !e.InCluster || p.hasTried(e.Root) {
+	lo, hi := net.tab.EntryRange(dataplane.Label(p.dst))
+	for e := lo; e < hi; e++ {
+		root := net.tab.EntryRoot(e)
+		if p.hasTried(root) {
 			continue
 		}
-		tt, ok := tab.Trees[e.Root]
-		if !ok {
+		next, arrived, ok := net.tab.Step(v, e)
+		if !ok || arrived || next == dataplane.None || net.down[next].Load() {
 			continue
 		}
-		next, arrived := treeroute.NextHop(v, tt, e.TreeLabel)
-		if arrived || next == graph.NoVertex || net.down[next].Load() {
-			continue
-		}
-		p.Root, p.Target = e.Root, e.TreeLabel
+		p.root, p.entry = root, e
 		p.reroutes++
 		return next
 	}
-	return graph.NoVertex
+	return dataplane.None
 }
 
-func (p *Packet) hasTried(root int) bool {
+func (p *Packet) hasTried(root int32) bool {
 	for _, r := range p.tried {
 		if r == root {
 			return true
@@ -293,18 +317,23 @@ func (net *Network) Down(v int) bool {
 // Send injects a packet at src addressed to dst and blocks until delivery
 // (or failure). Safe for concurrent use.
 func (net *Network) Send(src, dst int) (Delivery, error) {
-	if src < 0 || src >= len(net.scheme.Tables) || dst < 0 || dst >= len(net.scheme.Labels) {
+	n := net.tab.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
 		return Delivery{}, fmt.Errorf("router: endpoints (%d,%d) out of range", src, dst)
 	}
 	if net.down[src].Load() {
 		return Delivery{}, fmt.Errorf("router: source %d is crashed", src)
 	}
-	p := &Packet{
-		Dst:     net.scheme.Labels[dst],
-		Root:    graph.NoVertex,
-		done:    make(chan Delivery, 1),
-		started: time.Now(),
-	}
+	p := net.pool.Get().(*Packet)
+	p.dst = int32(dst)
+	p.root = dataplane.None
+	p.entry = dataplane.None
+	p.Trace = p.Trace[:0]
+	p.tried = p.tried[:0]
+	p.upstream = p.upstream[:0]
+	p.crank = false
+	p.reroutes = 0
+	p.started = time.Now()
 	select {
 	case net.inbox[src] <- p:
 	case <-net.quit:
@@ -312,9 +341,16 @@ func (net *Network) Send(src, dst int) (Delivery, error) {
 	}
 	select {
 	case d := <-p.done:
+		// The delivery path aliases the packet's pooled trace buffer: copy
+		// it out before the packet (and the buffer) goes back to the pool.
+		if d.Path != nil {
+			d.Path = append(make([]int, 0, len(d.Path)), d.Path...)
+		}
+		net.pool.Put(p)
 		net.lat.Record(int64(d.Latency))
 		return d, d.Err
 	case <-net.quit:
+		// The packet may still be in flight - it must not be pooled.
 		return Delivery{}, ErrClosed
 	}
 }

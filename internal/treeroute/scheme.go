@@ -103,27 +103,34 @@ func (s *Scheme) MaxLabelWords() int {
 // misroutes (leaves the tree, exceeds 2·|T| hops, or hits a vertex without
 // a table).
 func (s *Scheme) Route(src, dst int) ([]int, error) {
+	return s.RouteAppend(src, dst, nil)
+}
+
+// RouteAppend is Route with a caller-provided path buffer: the walked path
+// is appended to path (which may be nil, or a reused buffer reset to length
+// 0) so repeated queries allocate only on buffer growth.
+func (s *Scheme) RouteAppend(src, dst int, path []int) ([]int, error) {
 	target, ok := s.Labels[dst]
 	if !ok {
-		return nil, fmt.Errorf("treeroute: no label for destination %d", dst)
+		return path, fmt.Errorf("treeroute: no label for destination %d", dst)
 	}
-	path := []int{src}
+	path = append(path, src)
 	cur := src
 	limit := 2*len(s.Tables) + 2
 	for steps := 0; ; steps++ {
 		if steps > limit {
-			return nil, fmt.Errorf("treeroute: routing loop from %d to %d (path %v...)", src, dst, path[:min(len(path), 12)])
+			return path, fmt.Errorf("treeroute: routing loop from %d to %d (path %v...)", src, dst, path[:min(len(path), 12)])
 		}
 		tab, ok := s.Tables[cur]
 		if !ok {
-			return nil, fmt.Errorf("treeroute: no table at %d while routing %d->%d", cur, src, dst)
+			return path, fmt.Errorf("treeroute: no table at %d while routing %d->%d", cur, src, dst)
 		}
 		next, arrived := NextHop(cur, tab, target)
 		if arrived {
 			return path, nil
 		}
 		if next == graph.NoVertex {
-			return nil, fmt.Errorf("treeroute: dead end at %d while routing %d->%d", cur, src, dst)
+			return path, fmt.Errorf("treeroute: dead end at %d while routing %d->%d", cur, src, dst)
 		}
 		path = append(path, next)
 		cur = next

@@ -41,6 +41,12 @@ type Config struct {
 	// observational: the scheme and Report are identical with or without
 	// it.
 	Metrics *Metrics
+	// DataPlane, when true, compiles the built tables into the flat-array
+	// forwarding data plane (see Compile) and serves Scheme.Route from it:
+	// paths and weights are byte-identical, lookups are allocation-free
+	// array walks instead of map-chasing. Equivalent to calling Compile
+	// yourself and routing through the returned DataPlane.
+	DataPlane bool
 }
 
 // Report summarises the distributed construction's cost in the CONGEST
@@ -90,6 +96,9 @@ type Scheme struct {
 	// lookups, when non-nil (Config.Metrics was set), receives each
 	// Route call's wall latency in nanoseconds.
 	lookups *obs.Histogram
+	// dp, when non-nil (Config.DataPlane was set), serves Route from the
+	// compiled flat-array tables.
+	dp *DataPlane
 }
 
 // Build runs the full distributed construction of Theorem 3 on a simulated
@@ -131,7 +140,7 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 		reg.SetHelp(metrics.LookupHistogram, "Wall-clock latency of one Route lookup, in seconds.")
 		lookups = reg.Histogram(metrics.LookupHistogram, 1e-9)
 	}
-	return &Scheme{
+	sch := &Scheme{
 		inner:   s,
 		lookups: lookups,
 		report: Report{
@@ -150,18 +159,34 @@ func Build(net *Network, cfg Config) (*Scheme, error) {
 			PhaseRounds:        s.Stats.PhaseRounds,
 			Faults:             publicFaultReport(sim.FaultCounters()),
 		},
-	}, nil
+	}
+	if cfg.DataPlane {
+		dp, err := Compile(sch)
+		if err != nil {
+			return nil, err
+		}
+		sch.dp = dp
+	}
+	return sch, nil
 }
 
 // Route forwards a message from src to dst using only src's table, dst's
 // label, and the tables of intermediate nodes - exactly the routing phase
-// of the scheme.
+// of the scheme. With Config.DataPlane set the walk runs over the compiled
+// flat-array tables (same paths and weights, no per-hop map lookups).
 func (s *Scheme) Route(src, dst int) (Path, error) {
 	var began time.Time
 	if s.lookups != nil {
 		began = time.Now()
 	}
-	nodes, w, err := s.inner.Route(src, dst)
+	var nodes []int
+	var w float64
+	var err error
+	if s.dp != nil {
+		nodes, w, err = s.dp.RouteAppend(src, dst, nil)
+	} else {
+		nodes, w, err = s.inner.Route(src, dst)
+	}
 	if s.lookups != nil {
 		s.lookups.Record(int64(time.Since(began)))
 	}
@@ -169,6 +194,28 @@ func (s *Scheme) Route(src, dst int) (Path, error) {
 		return Path{}, err
 	}
 	return Path{Nodes: nodes, Weight: w}, nil
+}
+
+// RouteAppend is Route with a caller-provided node buffer: the walked path
+// is appended to nodes (reuse the buffer across queries to avoid the
+// per-query path allocation). The returned slice is the grown buffer — it
+// is NOT wrapped in a Path, so measurement loops can recycle it directly.
+func (s *Scheme) RouteAppend(src, dst int, nodes []int) ([]int, float64, error) {
+	var began time.Time
+	if s.lookups != nil {
+		began = time.Now()
+	}
+	var w float64
+	var err error
+	if s.dp != nil {
+		nodes, w, err = s.dp.RouteAppend(src, dst, nodes)
+	} else {
+		nodes, w, err = s.inner.RouteAppend(src, dst, nodes)
+	}
+	if s.lookups != nil {
+		s.lookups.Record(int64(time.Since(began)))
+	}
+	return nodes, w, err
 }
 
 // Report returns the construction cost report.
@@ -362,6 +409,12 @@ func (t *TreeScheme) Route(src, dst int) (Path, error) {
 		return Path{}, err
 	}
 	return Path{Nodes: nodes, Weight: float64(len(nodes) - 1)}, nil
+}
+
+// RouteAppend is Route with a caller-provided node buffer: the tree path is
+// appended to nodes so repeated queries allocate only on buffer growth.
+func (t *TreeScheme) RouteAppend(src, dst int, nodes []int) ([]int, error) {
+	return t.inner.RouteAppend(src, dst, nodes)
 }
 
 // Report returns the construction cost report.
