@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke bench-dataplane bench-dataplane-json metrics-smoke table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke bench-dataplane bench-dataplane-json metrics-smoke scale-smoke table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -58,8 +58,9 @@ bench:
 # lowmemroute.bench/v1): the congest hot-path micro-benchmarks and the
 # per-package steady-state handler benchmarks at full precision, plus one
 # deterministic pass over the paper tables, rendered as
-# BENCH_$(BENCH_TAG).json. The committed BENCH_PR4.json was produced by
-# `make bench-json BENCH_TAG=PR4`.
+# BENCH_$(BENCH_TAG).json. The committed BENCH_PR9.json was produced by
+# `make bench-json BENCH_TAG=PR9`; BENCH_PR4.json is the PR 4 trajectory
+# point it was gated against.
 BENCH_TAG ?= local
 HANDLER_BENCHES = BenchmarkBellmanFordSteady|BenchmarkClusterGrowth|BenchmarkLightPipeline
 bench-json:
@@ -74,8 +75,8 @@ bench-json:
 # a simulation metric (rounds, mem-words, ...). When NEW is missing it is
 # generated first (bench-json), so a bare `make bench-diff` is self-contained:
 # it measures the working tree against the committed PR snapshot. Usage:
-#   make bench-diff OLD=BENCH_PR4.json NEW=BENCH_local.json
-OLD ?= BENCH_PR4.json
+#   make bench-diff OLD=BENCH_PR9.json NEW=BENCH_local.json
+OLD ?= BENCH_PR9.json
 NEW ?= BENCH_local.json
 MAX_REGRESS ?= 0.30
 ALLOC_FLOOR ?= 0
@@ -121,6 +122,17 @@ bench-smoke:
 # with cmd/promcheck.
 metrics-smoke:
 	./scripts/metrics-smoke.sh
+
+# Scale-harness smoke (experiment E12): one fast full-build cell through the
+# streaming-CSR → topology-backed simulator → core.Build path, then a
+# 2^15-vertex substrate probe (generation + engine boot + bounded 64-hop
+# exploration) at a size where a full Õ(√n)-round build would not fit a CI
+# budget. Both run under a hard timeout so a scaling regression fails the
+# job instead of hanging it. The stdout rows are deterministic for the seed;
+# wall times and heap figures go to stderr.
+scale-smoke:
+	timeout 300 $(GO) run ./cmd/routebench -scale -scale-n 256 -k 2 -family grid -seed 1
+	timeout 300 $(GO) run ./cmd/routebench -scale-probe 32768 -family grid -seed 1
 
 # Regenerate the paper's tables and sweeps (EXPERIMENTS.md).
 table1:

@@ -13,6 +13,7 @@ package lowmemroute
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lowmemroute/internal/congest"
@@ -62,6 +63,12 @@ func BenchmarkTable1(b *testing.B) {
 					b.ReportMetric(float64(s.Quantile(0.99)), "p99-ns")
 					b.ReportMetric(float64(s.Quantile(0.999)), "p999-ns")
 				}
+				// Post-GC live heap; host-measured like the -ns quantiles
+				// (single-iteration rows record it without gating).
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				b.ReportMetric(float64(ms.HeapAlloc), "peak_heap_bytes")
 			})
 		}
 	}

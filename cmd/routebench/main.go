@@ -14,11 +14,13 @@
 //	routebench -faults drop=0.05,seed=1 -schemes paper  # E10: lossy build
 //	routebench -strict                    # exit 1 if any sampled pair fails
 //	routebench -traffic -n 1024 -k 3      # E11: data-plane traffic generator
+//	routebench -scale -family grid        # E12: memory-curve scale sweep
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"strconv"
@@ -64,6 +66,12 @@ func main() {
 		trafficLookups  = flag.Int64("traffic-lookups", 1_000_000, "lookup budget per configuration; 0 = run until -traffic-duration")
 		trafficDuration = flag.Duration("traffic-duration", 0, "wall-clock cap per configuration (0 = budget-bounded only)")
 		trafficRate     = flag.Float64("traffic-rate", 0, "throttle to about this many lookups/sec across workers (0 = unthrottled)")
+
+		scaleMode      = flag.Bool("scale", false, "E12: scale sweep on the streaming CSR substrate; one machine-readable row per (n,k) cell (overrides -sweep)")
+		scaleN         = flag.String("scale-n", "256,512,1024", "comma-separated sizes for -scale (full builds are Õ(√n·n) messages; sizes past ~2^10 need hours — probe larger substrates with -scale-probe)")
+		scaleBudget    = flag.Duration("scale-budget", 0, "soft wall-clock budget for -scale; cells starting after it elapses are skipped and reported on stderr (0 = no budget)")
+		scaleProbe     = flag.Int("scale-probe", 0, "boot the CSR substrate at this size and run one hop-bounded exploration instead of full builds (million-vertex memory check; overrides -sweep)")
+		scaleProbeHops = flag.Int("scale-probe-hops", 64, "exploration hop budget for -scale-probe (0 = flood the whole graph)")
 	)
 	flag.Parse()
 
@@ -112,6 +120,19 @@ func main() {
 
 	failures := 0
 	switch {
+	case *scaleProbe > 0:
+		row, err := metrics.RunSubstrateProbe(graph.Family(*family), *scaleProbe, *scaleProbeHops, *seed)
+		if err != nil {
+			fatalf("scale-probe: %v", err)
+		}
+		fmt.Println(row.DeterministicLine())
+		fmt.Fprintln(os.Stderr, row.HostLine())
+	case *scaleMode:
+		sns, err := parseInts(*scaleN)
+		if err != nil {
+			fatalf("bad -scale-n: %v", err)
+		}
+		runScale(graph.Family(*family), sns, ks, *seed, *scaleBudget, reg)
 	case *trafficMode:
 		tw, err := parseInts(*trafficWorkers)
 		if err != nil {
@@ -347,6 +368,51 @@ func runTraffic(family graph.Family, ns, ks []int, seed int64, workers []int, sk
 	}
 	fmt.Print(metrics.FormatTable(headers, rows))
 	fmt.Printf("\ndestinations are Zipf-ranked by vertex id; lookup latency quantiles are on stderr (host-measured)\n")
+}
+
+// runScale is E12: build the paper's scheme on the streaming CSR substrate
+// for every (n, k) cell and print one machine-readable key=value row per
+// cell to stdout. Stdout rows and the final fitted-slope lines are
+// deterministic for a fixed seed and completed cell set; wall times, heap
+// figures, and budget skips go to stderr. The fitted log-log slope of the
+// per-vertex table and memory averages against n is the paper's n^{1/k}
+// check.
+func runScale(family graph.Family, ns, ks []int, seed int64, budget time.Duration, reg *obs.Registry) {
+	fmt.Printf("E12: memory-curve scale sweep (%s)\n\n", family)
+	start := time.Now()
+	var rows []*metrics.ScaleRow
+	skipped := 0
+	for _, n := range ns {
+		for _, k := range ks {
+			if budget > 0 && time.Since(start) > budget {
+				skipped++
+				fmt.Fprintf(os.Stderr, "scale: skipped n=%d k=%d (budget %s exceeded)\n", n, k, budget)
+				continue
+			}
+			row, err := metrics.RunScale(metrics.ScaleConfig{
+				Family: family, N: n, K: k, Seed: seed, Metrics: reg,
+			})
+			if err != nil {
+				fatalf("scale n=%d k=%d: %v", n, k, err)
+			}
+			rows = append(rows, row)
+			fmt.Println(row.DeterministicLine())
+			fmt.Fprintln(os.Stderr, row.HostLine())
+		}
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "scale: %d of %d cells skipped by -scale-budget; slope fit covers completed cells only\n",
+			skipped, len(ns)*len(ks))
+	}
+	tabSlope := metrics.SlopeByK(rows, func(r *metrics.ScaleRow) float64 { return r.TableAvgW })
+	memSlope := metrics.SlopeByK(rows, func(r *metrics.ScaleRow) float64 { return r.MemAvgW })
+	for _, k := range ks {
+		ts, ok := tabSlope[k]
+		if !ok || math.IsNaN(ts) { // single-cell runs (smoke) have no slope to fit
+			continue
+		}
+		fmt.Printf("slope k=%d table_avg_w=%.3f mem_avg_w=%.3f expect=%.3f\n", k, ts, memSlope[k], 1/float64(k))
+	}
 }
 
 // faultSummary renders fault counters as one human line.

@@ -78,7 +78,7 @@ func BuildLP15(sim *congest.Simulator, opts Options) (*clusterroute.Scheme, erro
 	if n == 0 {
 		return clusterroute.New(k, 0), nil
 	}
-	g := sim.Graph()
+	topo := sim.Topo()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	levels, topOf := sampleHierarchy(n, k, rng)
 
@@ -135,7 +135,7 @@ func BuildLP15(sim *congest.Simulator, opts Options) (*clusterroute.Scheme, erro
 			}
 			ts := treeroute.BuildCentralized(tree)
 			treeSchemes[src.Root] = ts
-			s.AddTree(src.Root, tree, g, ts)
+			s.AddTree(src.Root, tree, topo, ts)
 			for _, v := range tree.Members() {
 				sim.Mem(v).Charge(int64(1 + ts.Tables[v].Words()))
 			}

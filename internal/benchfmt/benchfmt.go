@@ -231,7 +231,7 @@ func Diff(old, new *Snapshot, opts DiffOptions) []Delta {
 
 func compare(o, n *Benchmark, opts DiffOptions) []string {
 	var fails []string
-	check := func(col string, ov, nv float64) {
+	checkTol := func(col string, ov, nv, tol float64) {
 		if ov < 0 || nv < 0 { // column absent on either side
 			return
 		}
@@ -241,14 +241,15 @@ func compare(o, n *Benchmark, opts DiffOptions) []string {
 			}
 			return
 		}
-		if rel := nv/ov - 1; rel > opts.MaxRegress {
+		if rel := nv/ov - 1; rel > tol {
 			if col == "allocs/op" && nv <= opts.AllocFloor {
 				return
 			}
 			fails = append(fails, fmt.Sprintf("%s +%.1f%% (%.4g -> %.4g, limit +%.0f%%)",
-				col, rel*100, ov, nv, opts.MaxRegress*100))
+				col, rel*100, ov, nv, tol*100))
 		}
 	}
+	check := func(col string, ov, nv float64) { checkTol(col, ov, nv, opts.MaxRegress) }
 	// Single-iteration rows (-benchtime 1x) carry no timing statistic — one
 	// wall-clock shot swings with host load far beyond any useful threshold.
 	// Those rows exist for their simulation metrics (checked exactly below)
@@ -278,7 +279,16 @@ func compare(o, n *Benchmark, opts DiffOptions) []string {
 		ov := o.Metrics[u]
 		if HostMeasured(u) {
 			if o.Iters > 1 && n.Iters > 1 {
-				check(u, ov, nv)
+				tol := opts.MaxRegress
+				if strings.HasPrefix(u, "p999") {
+					// An extreme-tail quantile of a sub-microsecond op is
+					// set by the worst ~0.1% of samples — scheduler
+					// preemptions and IRQs on a shared host, not code. It
+					// swings 2x between idle back-to-back runs, so gate it
+					// only against order-of-magnitude blowups.
+					tol = 3 * tol
+				}
+				checkTol(u, ov, nv, tol)
 			}
 			continue
 		}
@@ -289,9 +299,14 @@ func compare(o, n *Benchmark, opts DiffOptions) []string {
 	return fails
 }
 
-// HostMeasured reports whether a custom metric unit carries a host wall-time
-// measurement ("-ns" suffix) rather than a deterministic simulation output.
-func HostMeasured(unit string) bool { return strings.HasSuffix(unit, "-ns") }
+// HostMeasured reports whether a custom metric unit carries a host-side
+// measurement rather than a deterministic simulation output: wall-time
+// quantiles ("-ns" suffix) and the post-run live-heap gauge
+// ("peak_heap_bytes", which wobbles with GC timing and runtime version).
+// Host-measured metrics are tolerance-compared, never exactly.
+func HostMeasured(unit string) bool {
+	return strings.HasSuffix(unit, "-ns") || unit == "peak_heap_bytes"
+}
 
 // FormatDeltas renders a diff report; ok reports whether every delta passed.
 func FormatDeltas(deltas []Delta) (string, bool) {

@@ -177,6 +177,43 @@ func TestDiffHostMeasuredMetricsUseTolerance(t *testing.T) {
 	}
 }
 
+func TestDiffExtremeTailGetsTripleTolerance(t *testing.T) {
+	// p999 quantiles are set by the worst ~0.1% of samples — scheduler and
+	// IRQ noise on a shared host — so they get 3x the base tolerance: only
+	// order-of-magnitude blowups fail, ordinary tail wobble does not.
+	old := snap(bench("B", 1000, -1, -1, map[string]float64{"p999-ns": 200}))
+	wobble := snap(bench("B", 1000, -1, -1, map[string]float64{"p999-ns": 340})) // +70%, under 3*25%
+	deltas := Diff(old, wobble, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 0 {
+		t.Fatalf("tail wobble under 3x tolerance should pass: %v", deltas[0].Failures)
+	}
+	blowup := snap(bench("B", 1000, -1, -1, map[string]float64{"p999-ns": 400})) // +100%, over 3*25%
+	deltas = Diff(old, blowup, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "p999-ns") {
+		t.Fatalf("tail blowup should fail: %v", deltas[0].Failures)
+	}
+}
+
+func TestDiffPeakHeapIsHostMeasured(t *testing.T) {
+	// peak_heap_bytes is a host-side heap gauge: tolerance-compared like the
+	// "-ns" latency quantiles, never exactly, so GC wobble cannot fail a
+	// diff while a genuine memory regression still does.
+	if !HostMeasured("peak_heap_bytes") {
+		t.Fatal("peak_heap_bytes must be host-measured")
+	}
+	old := snap(bench("B", 1000, -1, -1, map[string]float64{"peak_heap_bytes": 1 << 20}))
+	within := snap(bench("B", 1000, -1, -1, map[string]float64{"peak_heap_bytes": 1.2 * (1 << 20)}))
+	deltas := Diff(old, within, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 0 {
+		t.Fatalf("within tolerance should pass: %v", deltas[0].Failures)
+	}
+	beyond := snap(bench("B", 1000, -1, -1, map[string]float64{"peak_heap_bytes": 2 * (1 << 20)}))
+	deltas = Diff(old, beyond, DiffOptions{MaxRegress: 0.25})
+	if len(deltas[0].Failures) != 1 || !strings.Contains(deltas[0].Failures[0], "peak_heap_bytes") {
+		t.Fatalf("beyond tolerance should fail: %v", deltas[0].Failures)
+	}
+}
+
 func TestDiffHostMeasuredMetricsSkipSingleIteration(t *testing.T) {
 	one := func(p99 float64) Benchmark {
 		b := bench("B", 1000, -1, -1, map[string]float64{"p99-ns": p99})

@@ -84,10 +84,12 @@ func New(k, n int) *Scheme {
 
 // AddTree registers a cluster tree and installs its tree-routing tables in
 // every member's routing table. Edge weights for path-length accounting are
-// looked up in g.
-func (s *Scheme) AddTree(center int, tree *graph.Tree, g *graph.Graph, ts *treeroute.Scheme) {
+// looked up in the host topology and stored member-indexed (one word per
+// member, not per host vertex), so a scheme holding thousands of cluster
+// trees stays O(total membership).
+func (s *Scheme) AddTree(center int, tree *graph.Tree, host graph.Topology, ts *treeroute.Scheme) {
 	s.ClusterTrees[center] = tree
-	s.weights[center] = tree.TreeWeights(g)
+	s.weights[center] = tree.UpWeights(host)
 	for _, v := range tree.Members() {
 		s.Tables[v].Trees[center] = ts.Tables[v]
 	}
@@ -106,10 +108,12 @@ func (s *Scheme) AddLabelEntry(v, level, root int, ts *treeroute.Scheme) {
 	s.Labels[v].Entries = append(s.Labels[v].Entries, e)
 }
 
-// TreeWeights returns the per-vertex up-edge weights of the cluster tree
-// rooted at center (weights[v] is the weight of v's edge to its tree
-// parent; 0 at the root). Nil when the scheme holds no such tree. The
-// returned slice is the scheme's own storage — callers must not mutate it.
+// TreeWeights returns the member-indexed up-edge weights of the cluster
+// tree rooted at center: weights[i] is the weight of the tree edge from
+// member ClusterTrees[center].MemberAt(i) to its parent (0 at the root
+// slot; address slots via Tree.MemberIndex). Nil when the scheme holds no
+// such tree. The returned slice is the scheme's own storage — callers must
+// not mutate it.
 func (s *Scheme) TreeWeights(center int) []float64 { return s.weights[center] }
 
 // Route walks a message from src to dst: it picks the lowest level whose
@@ -141,6 +145,7 @@ func (s *Scheme) RouteAppend(src, dst int, path []int) ([]int, float64, error) {
 }
 
 func (s *Scheme) routeInTree(root, src, dst int, target treeroute.Label, path []int) ([]int, float64, error) {
+	tree := s.ClusterTrees[root]
 	weights := s.weights[root]
 	path = append(path, src)
 	var total float64
@@ -161,10 +166,12 @@ func (s *Scheme) routeInTree(root, src, dst int, target treeroute.Label, path []
 		if next == graph.NoVertex {
 			return path, 0, fmt.Errorf("clusterroute: dead end at %d in tree %d", cur, root)
 		}
-		if s.ClusterTrees[root].Parent(cur) == next {
-			total += weights[cur]
+		// Every hop is a tree edge: charge the up-edge weight of whichever
+		// endpoint is the child (weights are member-indexed).
+		if tree.Parent(cur) == next {
+			total += weights[tree.MemberIndex(cur)]
 		} else {
-			total += weights[next]
+			total += weights[tree.MemberIndex(next)]
 		}
 		path = append(path, next)
 		cur = next

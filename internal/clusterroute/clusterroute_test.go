@@ -23,7 +23,7 @@ func buildSingleTreeScheme(t *testing.T, n int, seed int64) (*Scheme, *graph.Gra
 	}
 	s := New(1, n)
 	ts := treeroute.BuildCentralized(tree)
-	s.AddTree(0, tree, g, ts)
+	s.AddTree(0, tree, graph.FromGraph(g), ts)
 	for v := 0; v < n; v++ {
 		s.AddLabelEntry(v, 0, 0, ts)
 	}
@@ -102,8 +102,8 @@ func TestSchemeNoCommonCluster(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.AddTree(0, t0, g, treeroute.BuildCentralized(t0))
-	s.AddTree(1, t1, g, treeroute.BuildCentralized(t1))
+	s.AddTree(0, t0, graph.FromGraph(g), treeroute.BuildCentralized(t0))
+	s.AddTree(1, t1, graph.FromGraph(g), treeroute.BuildCentralized(t1))
 	s.AddLabelEntry(0, 0, 0, treeroute.BuildCentralized(t0))
 	s.AddLabelEntry(1, 0, 1, treeroute.BuildCentralized(t1))
 	if _, _, err := s.Route(0, 1); err == nil {
@@ -130,8 +130,8 @@ func TestSchemeLevelPreference(t *testing.T) {
 	s := New(2, g.N())
 	tsA := treeroute.BuildCentralized(treeA)
 	tsB := treeroute.BuildCentralized(treeB)
-	s.AddTree(0, treeA, g, tsA)
-	s.AddTree(5, treeB, g, tsB)
+	s.AddTree(0, treeA, graph.FromGraph(g), tsA)
+	s.AddTree(5, treeB, graph.FromGraph(g), tsB)
 	for v := 0; v < g.N(); v++ {
 		s.AddLabelEntry(v, 0, 0, tsA)
 		s.AddLabelEntry(v, 1, 5, tsB)
@@ -155,7 +155,7 @@ func TestAddLabelEntryWithoutMembership(t *testing.T) {
 	}
 	s := New(1, 3)
 	ts := treeroute.BuildCentralized(tree)
-	s.AddTree(0, tree, g, ts)
+	s.AddTree(0, tree, graph.FromGraph(g), ts)
 	// Vertex 2 is not in the tree: its entry must be marked out-of-cluster.
 	s.AddLabelEntry(2, 0, 0, ts)
 	if s.Labels[2].Entries[0].InCluster {

@@ -12,10 +12,22 @@ package congest
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lowmemroute/internal/graph"
 )
+
+// reportPeakHeap reports the post-GC live heap as the host-measured
+// peak_heap_bytes metric: bench-diff compares it with tolerance (like the
+// -ns latency quantiles), so a simulator memory regression fails the diff
+// while GC wobble does not.
+func reportPeakHeap(b *testing.B) {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc), "peak_heap_bytes")
+}
 
 // BenchmarkRunFlood is the all-active load: every vertex of a torus is
 // active every round and sends one word to each neighbor for a fixed number
@@ -45,6 +57,7 @@ func BenchmarkRunFlood(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(s.Rounds())/float64(b.N), "rounds/op")
 	b.ReportMetric(float64(s.Messages())/float64(b.N), "msgs/op")
+	reportPeakHeap(b)
 }
 
 // BenchmarkRunSparse is the few-active load: a single token walks a long
@@ -68,6 +81,7 @@ func BenchmarkRunSparse(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(s.Rounds())/float64(b.N), "rounds/op")
+	reportPeakHeap(b)
 }
 
 // BenchmarkDelivery exercises the bandwidth-pacing path: a burst of large

@@ -40,7 +40,7 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *Broadca
 		s.broadcastFaulty(f, msgs, handle)
 		return
 	}
-	n := s.g.N()
+	n := s.N()
 	s.rounds += int64(len(msgs)) + 2*int64(s.d)
 	var totalWords int64
 	for _, m := range msgs {
@@ -83,7 +83,7 @@ func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *Broadca
 // partitions sever origin→vertex pairs; the clock is the current global
 // round, so windows opened by earlier Run phases apply here too.
 func (s *Simulator) broadcastFaulty(f *faults.Compiled, msgs []BroadcastMsg, handle func(v int, m *BroadcastMsg)) {
-	n := s.g.N()
+	n := s.N()
 	clock := s.rounds
 	var ctr faults.Counters
 	var totalWords, extraMsgs, extraWords int64

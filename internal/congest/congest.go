@@ -59,7 +59,14 @@ type StepFunc func(v int, ctx *Ctx)
 // edges and owns every per-round structure; see the engine file comment for
 // the layout and the determinism argument.
 type Simulator struct {
-	g        *graph.Graph
+	g *graph.Graph
+
+	// topo is the read-only adjacency the engine compiles and handlers
+	// iterate. Graph-backed simulators (New) leave it nil and lazily bridge
+	// through Topo(); topology-backed simulators (NewTopo) carry only this
+	// and never materialise a *graph.Graph — the million-vertex path.
+	topo graph.Topology
+
 	d        int // hop-diameter bound used for broadcast cost accounting
 	capacity int // words per directed edge per round
 
@@ -72,8 +79,9 @@ type Simulator struct {
 
 	// inboxMax[v] is the running maximum message word count delivered into
 	// inbox[v] since v last stepped - maintained at delivery time so
-	// stepVertex's transient-memory spike needs no O(inbox) rescan.
-	inboxMax []int64
+	// stepVertex's transient-memory spike needs no O(inbox) rescan. int32:
+	// a single message never carries 2^31 words.
+	inboxMax []int32
 
 	// arena recycles the Ext chunks of variable-length payloads; see the
 	// ownership protocol in payload.go.
@@ -97,8 +105,13 @@ type Simulator struct {
 	// strictly observational and costs one nil check per round when off.
 	obs *obsHooks
 
-	// CSR topology over directed edges, compiled by ensureTopology and
-	// rebuilt only when the graph changes shape (topoN/topoM mismatch).
+	// topoBridge caches the compact bridge Topo() hands out for
+	// graph-backed simulators, invalidated when the graph changes shape.
+	topoBridge               *graph.CSR
+	topoBridgeN, topoBridgeM int
+
+	// CSR index over directed edges, compiled by ensureTopology and
+	// rebuilt only when the adjacency changes shape (topoN/topoM mismatch).
 	topoN, topoM int
 	outStart     []int32 // per sender: offsets into outTo
 	outTo        []int32 // destinations, ascending per sender, deduplicated
@@ -126,12 +139,13 @@ type Simulator struct {
 
 	// Epoch-stamped scratch recycled across rounds: nextStamp[v] == epoch
 	// marks v as already collected into the next active list. ctxs,
-	// actList and nextList are the reusable context pool and active lists.
+	// actList and nextList are the reusable context pool and active lists
+	// (int32 vertex ids — half the footprint of the O(n) worklists).
 	epoch     int64
 	nextStamp []int64
 	ctxs      []Ctx
-	actList   []int
-	nextList  []int
+	actList   []int32
+	nextList  []int32
 
 	// Fault injection (WithFaults). faults stays nil for an empty plan, so
 	// the clean hot path pays one nil check per round; when set, delivery
@@ -240,11 +254,67 @@ func New(g *graph.Graph, opts ...Option) *Simulator {
 	return s
 }
 
-// Graph returns the communication graph.
+// NewTopo creates a simulator directly over a compact read-only topology
+// (typically a *graph.CSR from a streaming generator). No *graph.Graph is
+// ever materialised: handlers iterate adjacency through Topo, and Graph()
+// returns nil. Everything else — options, determinism, accounting — matches
+// New exactly, and for the same adjacency the two constructors produce
+// byte-identical runs.
+func NewTopo(t graph.Topology, opts ...Option) *Simulator {
+	s := &Simulator{
+		topo:     t,
+		d:        1,
+		capacity: DefaultEdgeCapacity,
+		inbox:    make([][]Message, t.N()),
+		meters:   make([]Meter, t.N()),
+		workers:  runtime.GOMAXPROCS(0),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+	if t.N() > 0 {
+		if ub, err := graph.TopoHopRadiusUpperBound(t); err == nil {
+			s.d = ub
+		}
+	}
+	if s.d < 1 {
+		s.d = 1
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Graph returns the communication graph, or nil for a topology-backed
+// simulator (NewTopo). Handler code should prefer Topo, which works for
+// both; Graph remains for reference paths (Dijkstra, baselines) that need
+// the mutable structure.
 func (s *Simulator) Graph() *graph.Graph { return s.g }
 
+// Topo returns the read-only adjacency of the communication graph. For a
+// topology-backed simulator this is the topology it was built over; for a
+// graph-backed one it is a compact bridge compiled on first use and
+// refreshed if the graph changes shape (same heuristic as the engine's
+// directed-edge index). The per-vertex neighbor order equals
+// Graph.Neighbors order, so handlers iterating either surface produce
+// byte-identical message streams.
+func (s *Simulator) Topo() graph.Topology {
+	if s.topo != nil {
+		return s.topo
+	}
+	if s.topoBridge == nil || s.topoBridgeN != s.g.N() || s.topoBridgeM != s.g.M() {
+		s.topoBridge = graph.FromGraph(s.g)
+		s.topoBridgeN, s.topoBridgeM = s.g.N(), s.g.M()
+	}
+	return s.topoBridge
+}
+
 // N returns the number of processors.
-func (s *Simulator) N() int { return s.g.N() }
+func (s *Simulator) N() int {
+	if s.g != nil {
+		return s.g.N()
+	}
+	return s.topo.N()
+}
 
 // Diameter returns the hop-diameter bound used for broadcast accounting.
 func (s *Simulator) Diameter() int { return s.d }
@@ -300,7 +370,7 @@ func (s *Simulator) ensureFaults() *faults.Compiled {
 		return nil
 	}
 	if s.faults == nil {
-		s.faults = faults.Compile(s.faultPlan, s.g.N())
+		s.faults = faults.Compile(s.faultPlan, s.N())
 		if s.faults == nil { // plan turned out empty
 			s.faultPlan = nil
 			return nil

@@ -56,12 +56,18 @@ const queueCompactMin = 32
 // charge the sender's memory: a real CONGEST processor regenerates outgoing
 // messages from its stored state (already charged) rather than holding
 // per-edge copies.
+// Queue cursors are int32: a directed edge never queues more than 2^31
+// messages, and at scale the 8 bytes saved per edge are real — the queue
+// array is the engine's largest O(m) structure. The msgs backing array is
+// nil until the edge first carries traffic and is compacted back to its
+// live suffix, so steady-state footprint is O(m + in-flight), not
+// O(m · capacity).
 type edgeQueue struct {
 	msgs []Message
-	head int // msgs[:head] already delivered; cleared lazily
+	head int32 // msgs[:head] already delivered; cleared lazily
 	// sent is the number of words of msgs[head] already transmitted in
 	// previous rounds (large messages take several rounds to cross).
-	sent int
+	sent int32
 }
 
 // edgeFaultState is the per-edge-queue fault bookkeeping, kept out of
@@ -78,17 +84,17 @@ type edgeFaultState struct {
 	rolled  bool
 }
 
-func (q *edgeQueue) empty() bool { return q.head == len(q.msgs) }
+func (q *edgeQueue) empty() bool { return int(q.head) == len(q.msgs) }
 
 // compact releases delivered messages: full resets are free, and a long
 // consumed prefix under a persistent backlog is copied out so the backing
 // array stays proportional to the live queue.
 func (q *edgeQueue) compact() {
 	switch {
-	case q.head == len(q.msgs):
+	case int(q.head) == len(q.msgs):
 		q.msgs = q.msgs[:0]
 		q.head = 0
-	case q.head >= queueCompactMin && 2*q.head >= len(q.msgs):
+	case q.head >= queueCompactMin && 2*int(q.head) >= len(q.msgs):
 		n := copy(q.msgs, q.msgs[q.head:])
 		clear(q.msgs[n:])
 		q.msgs = q.msgs[:n]
@@ -100,7 +106,12 @@ func (q *edgeQueue) compact() {
 // buffer. It runs on the first Run and again only if the graph changed
 // shape; steady-state Runs see a single integer comparison.
 func (s *Simulator) ensureTopology() {
-	n, m := s.g.N(), s.g.M()
+	var n, m int
+	if s.g != nil {
+		n, m = s.g.N(), s.g.M()
+	} else {
+		n, m = s.topo.N(), s.topo.M()
+	}
 	if s.topoN == n && s.topoM == m && s.outStart != nil {
 		return
 	}
@@ -112,8 +123,13 @@ func (s *Simulator) ensureTopology() {
 	outTo := make([]int32, 0, 2*m)
 	for u := 0; u < n; u++ {
 		start := len(outTo)
-		for _, nb := range s.g.Neighbors(u) {
-			outTo = append(outTo, int32(nb.To))
+		if s.g != nil {
+			for _, nb := range s.g.Neighbors(u) {
+				outTo = append(outTo, int32(nb.To))
+			}
+		} else {
+			ts, _ := s.topo.NeighborRange(u)
+			outTo = append(outTo, ts...)
 		}
 		seg := outTo[start:]
 		slices.Sort(seg)
@@ -156,7 +172,7 @@ func (s *Simulator) ensureTopology() {
 	s.dirtyIn = make([]int32, ne)
 	s.dirtyCnt = make([]int32, n)
 	s.nextStamp = make([]int64, n)
-	s.inboxMax = make([]int64, n)
+	s.inboxMax = make([]int32, n)
 	s.epoch = 0
 
 	shards := s.workers
@@ -216,7 +232,7 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	for _, v := range initial {
 		if s.nextStamp[v] != s.epoch {
 			s.nextStamp[v] = s.epoch
-			act = append(act, v)
+			act = append(act, int32(v))
 		}
 	}
 	slices.Sort(act)
@@ -270,7 +286,7 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 			c := &s.ctxs[i]
 			if c.wake && s.nextStamp[c.v] != s.epoch {
 				s.nextStamp[c.v] = s.epoch
-				next = append(next, c.v)
+				next = append(next, int32(c.v))
 			}
 			for _, e := range c.outEdge {
 				to := int(s.outTo[e])
@@ -317,9 +333,7 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 		for sh := range s.shardCur {
 			s.messages += s.shardMsgs[sh]
 			s.words += s.shardWords[sh]
-			for _, v := range s.shardRecv[sh] {
-				next = append(next, int(v))
-			}
+			next = append(next, s.shardRecv[sh]...)
 			s.shardCur[sh], s.shardNxt[sh] = s.shardNxt[sh], s.shardCur[sh][:0]
 			pending += len(s.shardCur[sh])
 		}
@@ -414,7 +428,7 @@ func (s *Simulator) runRound(round int, step StepFunc) {
 // stepVertex runs one vertex's program for one round in its recycled
 // context slot.
 func (s *Simulator) stepVertex(i, round int, step StepFunc) {
-	v := s.actList[i]
+	v := int(s.actList[i])
 	c := &s.ctxs[i]
 	c.sim, c.v, c.round = s, v, round
 	c.in = s.inbox[v]
@@ -435,7 +449,7 @@ func (s *Simulator) stepVertex(i, round int, step StepFunc) {
 	// Link buffers are free; charge only the single largest in-flight
 	// message as transient working space. The maximum is maintained at
 	// delivery time (drainDst), so no inbox rescan here.
-	s.meters[v].Spike(s.inboxMax[v])
+	s.meters[v].Spike(int64(s.inboxMax[v]))
 	s.inboxMax[v] = 0
 	step(v, c)
 }
@@ -486,18 +500,18 @@ func (s *Simulator) drainDst(v int) (int64, int64) {
 	unlimited := s.capacity <= 0
 	live := 0
 	inb := s.inbox[v]
-	inbMax := s.inboxMax[v]
+	inbMax := int64(s.inboxMax[v])
 	for _, p := range region {
 		q := &s.queues[s.inEdges[p]]
 		budget := s.capacity
-		for q.head < len(q.msgs) {
+		for int(q.head) < len(q.msgs) {
 			m := &q.msgs[q.head]
 			if !unlimited {
 				if budget <= 0 {
 					break
 				}
-				if remaining := m.Words - q.sent; remaining > budget {
-					q.sent += budget
+				if remaining := m.Words - int(q.sent); remaining > budget {
+					q.sent += int32(budget)
 					budget = 0
 					break
 				} else {
@@ -524,7 +538,7 @@ func (s *Simulator) drainDst(v int) (int64, int64) {
 		}
 	}
 	s.inbox[v] = inb
-	s.inboxMax[v] = inbMax
+	s.inboxMax[v] = int32(inbMax)
 	s.dirtyCnt[v] = int32(live)
 	return msgs, words
 }
@@ -560,7 +574,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 	unlimited := s.capacity <= 0
 	live := 0
 	inb := s.inbox[v]
-	inbMax := s.inboxMax[v]
+	inbMax := int64(s.inboxMax[v])
 	for _, p := range region {
 		e := s.inEdges[p]
 		q := &s.queues[e]
@@ -575,7 +589,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 			continue
 		}
 		budget := s.capacity
-		for q.head < len(q.msgs) {
+		for int(q.head) < len(q.msgs) {
 			m := &q.msgs[q.head]
 			if !fq.rolled {
 				fq.rolled = true
@@ -591,8 +605,8 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 				if budget <= 0 {
 					break
 				}
-				if remaining := m.Words - q.sent; remaining > budget {
-					q.sent += budget
+				if remaining := m.Words - int(q.sent); remaining > budget {
+					q.sent += int32(budget)
 					budget = 0
 					break
 				} else {
@@ -655,7 +669,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 		}
 	}
 	s.inbox[v] = inb
-	s.inboxMax[v] = inbMax
+	s.inboxMax[v] = int32(inbMax)
 	s.dirtyCnt[v] = int32(live)
 	return msgs, words
 }
@@ -667,7 +681,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 func (s *Simulator) discardQueue(e int32) int64 {
 	q := &s.queues[e]
 	fq := &s.faultQ[e]
-	dropped := int64(len(q.msgs) - q.head)
+	dropped := int64(len(q.msgs) - int(q.head))
 	s.recycleExt(q.msgs[q.head:])
 	clear(q.msgs)
 	q.msgs = q.msgs[:0]
@@ -711,9 +725,9 @@ func (s *Simulator) queueBacklog() int64 {
 			base := int(s.inStart[v])
 			for i := 0; i < int(s.dirtyCnt[v]); i++ {
 				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
-				for j := q.head; j < len(q.msgs); j++ {
+				for j := int(q.head); j < len(q.msgs); j++ {
 					w := int64(q.msgs[j].Words)
-					if j == q.head {
+					if j == int(q.head) {
 						w -= int64(q.sent)
 					}
 					backlog += w
@@ -770,7 +784,7 @@ func (s *Simulator) fastForward(limit int) int {
 			base := int(s.inStart[v])
 			for i := 0; i < int(s.dirtyCnt[v]); i++ {
 				q := &s.queues[s.inEdges[s.dirtyIn[base+i]]]
-				r := (q.msgs[q.head].Words - q.sent + s.capacity - 1) / s.capacity
+				r := (q.msgs[q.head].Words - int(q.sent) + s.capacity - 1) / s.capacity
 				if minRounds == 0 || r < minRounds {
 					minRounds = r
 				}
@@ -790,7 +804,7 @@ func (s *Simulator) fastForward(limit int) int {
 			v := int(v32)
 			base := int(s.inStart[v])
 			for i := 0; i < int(s.dirtyCnt[v]); i++ {
-				s.queues[s.inEdges[s.dirtyIn[base+i]]].sent += adv
+				s.queues[s.inEdges[s.dirtyIn[base+i]]].sent += int32(adv)
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"lowmemroute/internal/congest"
@@ -23,7 +24,7 @@ func buildGrowthFixture(tb testing.TB) (*builder, int, []int) {
 	sim := congest.New(g, congest.WithSeed(5), congest.WithWorkers(1))
 	o := (&Options{K: 4, Seed: 5}).withDefaults()
 	b := &builder{
-		sim: sim, g: g, n: g.N(), k: o.K, o: o,
+		sim: sim, topo: sim.Topo(), n: g.N(), k: o.K, o: o,
 		rng:         rand.New(rand.NewSource(o.Seed)),
 		phaseRounds: make(map[string]int64),
 	}
@@ -66,6 +67,13 @@ func BenchmarkClusterGrowth(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	// Post-GC live heap, host-measured: bench-diff tolerance-gates it so a
+	// workspace memory regression shows up without GC wobble failing runs.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapAlloc), "peak_heap_bytes")
 }
 
 // TestClusterGrowthSteadyStateAllocFree pins that a warm cluster growth

@@ -394,7 +394,7 @@ func (g *clusterGrowth) grow(level int, roots []int) error {
 			acc := src.dist
 			for i := 1; i < len(path); i++ {
 				u, prev := path[i], path[i-1]
-				wgt, okw := b.g.EdgeWeight(prev, u)
+				wgt, okw := graph.TopoEdgeWeight(b.topo, prev, u)
 				if !okw {
 					return fmt.Errorf("core: recovery path hop {%d,%d} not an edge", prev, u)
 				}
@@ -461,33 +461,39 @@ func (g *clusterGrowth) grow(level int, roots []int) error {
 	return nil
 }
 
-// assembleTrees builds one tree per root from the workspace estimates:
-// members are the root, forced joiners, and vertices whose estimate beats
-// the (1+ε)-relaxed bound. The output arrays are retained by the builder,
-// so they are freshly allocated here.
+// assembleTrees builds one tree per root from the workspace estimates in a
+// single pass over the vertices: members are the root, forced joiners, and
+// vertices whose estimate beats the (1+ε)-relaxed bound. Scanning vertices
+// ascending makes each root's member bucket sorted, so the buckets feed
+// NewTreeCompact directly and no host-sized per-root array is allocated.
 func (g *clusterGrowth) assembleTrees(roots []int) error {
 	b := g.b
-	for _, r := range roots {
-		parent := make([]int, b.n)
-		dist := make([]float64, b.n)
-		for v := range parent {
-			parent[v] = graph.NoVertex
-			dist[v] = graph.Infinity
-		}
-		for v := 0; v < b.n; v++ {
-			e := g.get(v, r)
-			if e == nil {
+	slot := make(map[int]int, len(roots))
+	for i, r := range roots {
+		slot[r] = i
+	}
+	verts := make([][]int32, len(roots))
+	pars := make([][]int32, len(roots))
+	for v := 0; v < b.n; v++ {
+		for idx := range g.est[v] {
+			e := &g.est[v][idx]
+			i, ok := slot[e.root]
+			if !ok {
 				continue
 			}
-			if v != r && !e.force && e.dist >= g.hostCap(v) {
+			if v != e.root && !e.force && e.dist >= g.hostCap(v) {
 				continue
 			}
-			dist[v] = e.dist
-			if v != r {
-				parent[v] = e.parent
+			p := graph.NoVertex
+			if v != e.root {
+				p = e.parent
 			}
+			verts[i] = append(verts[i], int32(v))
+			pars[i] = append(pars[i], int32(p))
 		}
-		tree, err := graph.NewTree(r, parent)
+	}
+	for i, r := range roots {
+		tree, err := graph.NewTreeCompact(r, b.n, verts[i], pars[i])
 		if err != nil {
 			if debugClusters {
 				for v := 0; v < b.n; v++ {
@@ -501,7 +507,6 @@ func (g *clusterGrowth) assembleTrees(roots []int) error {
 			return fmt.Errorf("core: approximate cluster tree of %d: %w", r, err)
 		}
 		b.trees[r] = tree
-		b.dists[r] = dist
 	}
 	return nil
 }
@@ -560,7 +565,7 @@ func (b *builder) assemble() (*Scheme, error) {
 	for j, c := range centers {
 		ts := res.Schemes[j]
 		treeSchemes[c] = ts
-		scheme.AddTree(c, b.trees[c], b.g, ts)
+		scheme.AddTree(c, b.trees[c], b.topo, ts)
 	}
 	for v := 0; v < b.n; v++ {
 		for j := 0; j < b.k; j++ {

@@ -132,11 +132,11 @@ func Build(sim *congest.Simulator, opts Options) (*Scheme, error) {
 	if n == 0 {
 		return &Scheme{Scheme: clusterroute.New(k, 0)}, nil
 	}
-	g := sim.Graph()
+	topo := sim.Topo()
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	b := &builder{
-		sim: sim, g: g, n: n, k: k, o: o, rng: rng,
+		sim: sim, topo: topo, n: n, k: k, o: o, rng: rng,
 		phaseRounds: make(map[string]int64),
 	}
 	b.sampleHierarchy()
@@ -174,12 +174,12 @@ func (b *builder) timed(name string, phase func() error) error {
 }
 
 type builder struct {
-	sim *congest.Simulator
-	g   *graph.Graph
-	n   int
-	k   int
-	o   Options
-	rng *rand.Rand
+	sim  *congest.Simulator
+	topo graph.Topology
+	n    int
+	k    int
+	o    Options
+	rng  *rand.Rand
 
 	kHalf  int
 	levels [][]int // A_0 .. A_{k-1}
@@ -192,9 +192,9 @@ type builder struct {
 	vg *hopset.VirtualGraph
 	hs *hopset.Hopset
 
-	// Cluster trees and membership distances per center.
+	// Cluster trees per center (compact member-indexed trees; membership
+	// distances are not retained - nothing downstream reads them).
 	trees   map[int]*graph.Tree
-	dists   map[int][]float64
 	maxBeta int
 
 	// cg is the reusable approximate-cluster-growth workspace (created on
@@ -273,7 +273,6 @@ func (b *builder) sampleHierarchy() {
 	}
 	b.pivotD[k], b.pivotRoot[k] = dk, rk
 	b.trees = make(map[int]*graph.Tree)
-	b.dists = make(map[int][]float64)
 }
 
 // exactPivots computes d(·, A_j) for the low levels 1..⌈k/2⌉ by set-source
@@ -318,41 +317,51 @@ func (b *builder) lowClusters() error {
 		if err != nil {
 			return fmt.Errorf("core: level %d clusters: %w", i, err)
 		}
-		for _, s := range srcs {
-			if err := b.treeFromEntries(s.Root, res, bound); err != nil {
-				return fmt.Errorf("core: cluster of %d: %w", s.Root, err)
-			}
+		if err := b.treesFromEntries(srcs, res, bound); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// treeFromEntries extracts root's cluster tree from exploration entries:
-// members are vertices whose estimate beats the bound (the root always).
-func (b *builder) treeFromEntries(root int, res *hopset.ExploreResult, bound []float64) error {
-	parent := make([]int, b.n)
-	dist := make([]float64, b.n)
-	for v := range parent {
-		parent[v] = graph.NoVertex
-		dist[v] = graph.Infinity
+// treesFromEntries extracts every source root's cluster tree from the
+// exploration entries in a single pass over the vertices: members are
+// vertices whose estimate beats the bound (the root always). Because
+// vertices are scanned ascending, each root's member bucket arrives
+// strictly sorted and feeds NewTreeCompact directly - no per-root
+// host-sized parent array is ever allocated.
+func (b *builder) treesFromEntries(srcs []hopset.Source, res *hopset.ExploreResult, bound []float64) error {
+	slot := make(map[int]int, len(srcs))
+	for i, s := range srcs {
+		slot[s.Root] = i
 	}
+	verts := make([][]int32, len(srcs))
+	pars := make([][]int32, len(srcs))
 	for v := 0; v < b.n; v++ {
-		e, ok := res.Get(v, root)
-		if !ok || (v != root && e.Dist >= bound[v]) {
-			continue
+		for _, en := range res.At(v) {
+			if v != en.Root && en.Dist >= bound[v] {
+				continue
+			}
+			i, ok := slot[en.Root]
+			if !ok {
+				continue
+			}
+			p := graph.NoVertex
+			if v != en.Root {
+				p = en.Parent
+			}
+			verts[i] = append(verts[i], int32(v))
+			pars[i] = append(pars[i], int32(p))
+			b.sim.Mem(v).Charge(3) // retained cluster entry
 		}
-		dist[v] = e.Dist
-		if v != root {
-			parent[v] = e.Parent
+	}
+	for i, s := range srcs {
+		tree, err := graph.NewTreeCompact(s.Root, b.n, verts[i], pars[i])
+		if err != nil {
+			return fmt.Errorf("core: cluster of %d: %w", s.Root, err)
 		}
-		b.sim.Mem(v).Charge(3) // retained cluster entry
+		b.trees[s.Root] = tree
 	}
-	tree, err := graph.NewTree(root, parent)
-	if err != nil {
-		return err
-	}
-	b.trees[root] = tree
-	b.dists[root] = dist
 	return nil
 }
 
@@ -361,7 +370,7 @@ func (b *builder) buildHopset() error {
 	if b.kHalf < b.k {
 		members = b.levels[b.kHalf]
 	}
-	vg, err := hopset.NewVirtualGraph(b.g, members, b.hopBudget(b.kHalf))
+	vg, err := hopset.NewVirtualGraphN(b.n, members, b.hopBudget(b.kHalf))
 	if err != nil {
 		return fmt.Errorf("core: virtual graph: %w", err)
 	}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"lowmemroute/internal/clusterroute"
+	"lowmemroute/internal/graph"
 )
 
 // Label addresses a destination in a compiled table: its vertex id. The
@@ -125,6 +126,26 @@ func Compile(s *clusterroute.Scheme) *Table {
 
 	// Pass 2: fill. Membership roots are sorted ascending per vertex (the
 	// source map has no order) so member() can binary-search them.
+	//
+	// TreeWeights is member-indexed; v has a table for r exactly when it is
+	// a member of r's tree. The outer loop visits vertices in ascending
+	// order and each tree's member array is sorted ascending, so a monotone
+	// cursor per root finds v's slot in amortized O(1) — a per-membership
+	// MemberIndex binary search is measurably slower here.
+	type treeCursor struct {
+		tr  *graph.Tree
+		w   []float64
+		cur int
+	}
+	cursorBuf := make([]treeCursor, 0, len(s.ClusterTrees))
+	cursorIdx := make(map[int]int32, len(s.ClusterTrees))
+	for r, tr := range s.ClusterTrees {
+		if tr != nil {
+			cursorIdx[r] = int32(len(cursorBuf))
+			cursorBuf = append(cursorBuf, treeCursor{tr: tr, w: s.TreeWeights(r)})
+		}
+	}
+
 	var roots []int
 	for v := 0; v < n; v++ {
 		roots = roots[:0]
@@ -135,8 +156,14 @@ func Compile(s *clusterroute.Scheme) *Table {
 		for _, r := range roots {
 			tab := s.Tables[v].Trees[r]
 			wUp := 0.0
-			if w := s.TreeWeights(r); v < len(w) {
-				wUp = w[v]
+			if ci, ok := cursorIdx[r]; ok {
+				c := &cursorBuf[ci]
+				for c.cur < c.tr.Size() && c.tr.MemberAt(c.cur) < v {
+					c.cur++
+				}
+				if c.cur < c.tr.Size() && c.tr.MemberAt(c.cur) == v && c.cur < len(c.w) {
+					wUp = c.w[c.cur]
+				}
 			}
 			t.memRoot = append(t.memRoot, int32(r))
 			t.memIn = append(t.memIn, int32(tab.In))

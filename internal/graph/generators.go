@@ -121,71 +121,28 @@ func (g *Graph) components() []int {
 // rows+cols-2, which makes it a good "large D" stress case.
 func Grid(rows, cols int, w WeightFunc, r *rand.Rand) *Graph {
 	g := New(rows * cols)
-	id := func(i, j int) int { return i*cols + j }
-	for i := 0; i < rows; i++ {
-		for j := 0; j < cols; j++ {
-			if j+1 < cols {
-				g.MustAddEdge(id(i, j), id(i, j+1), w(r))
-			}
-			if i+1 < rows {
-				g.MustAddEdge(id(i, j), id(i+1, j), w(r))
-			}
-		}
-	}
+	streamGrid(rows, cols, w, r, g.MustAddEdge)
 	return g
 }
 
-// Torus is Grid with wraparound edges, halving the diameter.
+// Torus is Grid with wraparound edges, halving the diameter. The wrap edges
+// are generated in the same edge stream as the grid edges (streamTorus)
+// rather than retrofitted onto a built Grid, so the slice path and the CSR
+// path share one emission order.
 func Torus(rows, cols int, w WeightFunc, r *rand.Rand) *Graph {
-	g := Grid(rows, cols, w, r)
-	id := func(i, j int) int { return i*cols + j }
-	if cols > 2 {
-		for i := 0; i < rows; i++ {
-			g.MustAddEdge(id(i, 0), id(i, cols-1), w(r))
-		}
-	}
-	if rows > 2 {
-		for j := 0; j < cols; j++ {
-			g.MustAddEdge(id(0, j), id(rows-1, j), w(r))
-		}
-	}
+	g := New(rows * cols)
+	streamTorus(rows, cols, w, r, g.MustAddEdge)
 	return g
 }
 
 // BarabasiAlbert generates a preferential-attachment graph: each new vertex
 // attaches to m existing vertices chosen proportionally to degree. Produces
-// power-law degree distributions typical of P2P/social overlays.
+// power-law degree distributions typical of P2P/social overlays. Each new
+// vertex's target edges are emitted in ascending target order, making the
+// edge stream deterministic for a given seed (see streamBarabasiAlbert).
 func BarabasiAlbert(n, m int, w WeightFunc, r *rand.Rand) *Graph {
-	if m < 1 {
-		m = 1
-	}
 	g := New(n)
-	if n == 0 {
-		return g
-	}
-	// Repeated-endpoint list for proportional sampling.
-	var endpoints []int
-	start := m + 1
-	if start > n {
-		start = n
-	}
-	for u := 1; u < start; u++ {
-		g.MustAddEdge(u, u-1, w(r))
-		endpoints = append(endpoints, u, u-1)
-	}
-	for u := start; u < n; u++ {
-		chosen := make(map[int]bool, m)
-		for len(chosen) < m {
-			v := endpoints[r.Intn(len(endpoints))]
-			if v != u {
-				chosen[v] = true
-			}
-		}
-		for v := range chosen {
-			g.MustAddEdge(u, v, w(r))
-			endpoints = append(endpoints, u, v)
-		}
-	}
+	streamBarabasiAlbert(n, m, w, r, g.MustAddEdge)
 	return g
 }
 
@@ -285,16 +242,8 @@ func RandomTree(n int, w WeightFunc, r *rand.Rand) *Graph {
 
 // Hypercube generates the d-dimensional hypercube (n = 2^d vertices).
 func Hypercube(d int, w WeightFunc, r *rand.Rand) *Graph {
-	n := 1 << d
-	g := New(n)
-	for u := 0; u < n; u++ {
-		for b := 0; b < d; b++ {
-			v := u ^ (1 << b)
-			if u < v {
-				g.MustAddEdge(u, v, w(r))
-			}
-		}
-	}
+	g := New(1 << d)
+	streamHypercube(d, w, r, g.MustAddEdge)
 	return g
 }
 
@@ -311,36 +260,51 @@ const (
 	FamilyHypercube  Family = "hypercube"
 )
 
+// Density defaults shared by Generate and GenerateCSR, so the two paths
+// cannot drift apart.
+
+func erdosRenyiDefaultP(n int) float64 {
+	return 4 * math.Log(float64(n+2)) / float64(n+1)
+}
+
+func geometricDefaultRadius(n int) float64 {
+	return 1.8 * math.Sqrt(math.Log(float64(n+2))/float64(n+1))
+}
+
+func gridDefaultDims(n int) (rows, cols int) {
+	side := int(math.Round(math.Sqrt(float64(n))))
+	if side < 1 {
+		side = 1
+	}
+	return side, (n + side - 1) / side
+}
+
+func hypercubeDefaultDim(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}
+
 // Generate builds an n-vertex connected instance of the named family with
 // sensible density defaults for routing benchmarks.
 func Generate(f Family, n int, r *rand.Rand) (*Graph, error) {
 	switch f {
 	case FamilyErdosRenyi:
-		p := 4 * math.Log(float64(n+2)) / float64(n+1)
-		return ErdosRenyi(n, p, IntegerWeights(100), r), nil
+		return ErdosRenyi(n, erdosRenyiDefaultP(n), IntegerWeights(100), r), nil
 	case FamilyGeometric:
-		radius := 1.8 * math.Sqrt(math.Log(float64(n+2))/float64(n+1))
-		return RandomGeometric(n, radius, r), nil
+		return RandomGeometric(n, geometricDefaultRadius(n), r), nil
 	case FamilyGrid:
-		side := int(math.Round(math.Sqrt(float64(n))))
-		if side < 1 {
-			side = 1
-		}
-		return Grid(side, (n+side-1)/side, IntegerWeights(10), r), nil
+		rows, cols := gridDefaultDims(n)
+		return Grid(rows, cols, IntegerWeights(10), r), nil
 	case FamilyTorus:
-		side := int(math.Round(math.Sqrt(float64(n))))
-		if side < 1 {
-			side = 1
-		}
-		return Torus(side, (n+side-1)/side, IntegerWeights(10), r), nil
+		rows, cols := gridDefaultDims(n)
+		return Torus(rows, cols, IntegerWeights(10), r), nil
 	case FamilyPowerLaw:
 		return BarabasiAlbert(n, 3, IntegerWeights(100), r), nil
 	case FamilyHypercube:
-		d := 0
-		for 1<<d < n {
-			d++
-		}
-		return Hypercube(d, IntegerWeights(10), r), nil
+		return Hypercube(hypercubeDefaultDim(n), IntegerWeights(10), r), nil
 	default:
 		return nil, fmt.Errorf("graph: unknown family %q", f)
 	}

@@ -1,0 +1,97 @@
+package graph
+
+// Topology is the narrow read-only adjacency surface consumed by the
+// simulator and the construction phases (congest, hopset, core, treeroute).
+// It abstracts over the mutable pointer-based *Graph (bridged through
+// FromGraph) and the compact immutable *CSR, so the whole stack can run on
+// either substrate: small-n paths and seed tests keep using *Graph, while
+// the million-vertex scale harness hands the simulator a CSR directly and
+// never materialises [][]Neighbor at all.
+//
+// Directed arcs are numbered globally: vertex u's incident arcs occupy the
+// contiguous id range [base, base+Degree(u)) returned by NeighborRange, in
+// the graph's adjacency order (the order edges were added — the order every
+// handler observes, which the determinism gates pin). ArcWeight(a) returns
+// the weight of arc a. The returned neighbor slice is owned by the topology
+// and MUST NOT be mutated or retained beyond the caller's own lifetime:
+// handler code reads it in place, exactly like Graph.Neighbors.
+type Topology interface {
+	// N returns the number of vertices.
+	N() int
+	// M returns the number of undirected edges.
+	M() int
+	// Degree returns the number of arcs leaving u.
+	Degree(u int) int
+	// NeighborRange returns u's neighbor ids in adjacency order and the
+	// global id of u's first arc; arc base+i targets to[i]. Read-only.
+	NeighborRange(u int) (to []int32, base int)
+	// ArcWeight returns the weight of directed arc a.
+	ArcWeight(a int) float64
+}
+
+// TopoEdgeWeight returns the weight of the lightest edge {u,v} of t and
+// whether one exists — Graph.EdgeWeight over the accessor surface.
+func TopoEdgeWeight(t Topology, u, v int) (float64, bool) {
+	if u < 0 || u >= t.N() {
+		return 0, false
+	}
+	to, base := t.NeighborRange(u)
+	best, ok := 0.0, false
+	for i, x := range to {
+		if int(x) == v {
+			if w := t.ArcWeight(base + i); !ok || w < best {
+				best, ok = w, true
+			}
+		}
+	}
+	return best, ok
+}
+
+// TopoHasEdge reports whether t has an edge {u,v}.
+func TopoHasEdge(t Topology, u, v int) bool {
+	if u < 0 || u >= t.N() {
+		return false
+	}
+	to, _ := t.NeighborRange(u)
+	for _, x := range to {
+		if int(x) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoHopRadiusUpperBound returns 2·ecc(0), the same cheap hop-diameter
+// bound as Graph.HopRadiusUpperBound, computed over the accessor surface.
+// Returns ErrDisconnected for disconnected topologies.
+func TopoHopRadiusUpperBound(t Topology) (int, error) {
+	n := t.N()
+	if n == 0 {
+		return 0, nil
+	}
+	hops := make([]int32, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[0] = 0
+	queue := make([]int32, 1, n)
+	queue[0] = 0
+	ecc := int32(0)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		to, _ := t.NeighborRange(int(u))
+		for _, v := range to {
+			if hops[v] == -1 {
+				hops[v] = hops[u] + 1
+				if hops[v] > ecc {
+					ecc = hops[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(queue) != n {
+		return 0, ErrDisconnected
+	}
+	return 2 * int(ecc), nil
+}

@@ -126,6 +126,7 @@ const (
 // concurrent use; create one per goroutine.
 type Explorer struct {
 	sim     *congest.Simulator
+	topo    graph.Topology
 	state   [][]RootEntry
 	seeds   []Source
 	initial []int
@@ -139,7 +140,7 @@ type Explorer struct {
 
 // NewExplorer creates an exploration workspace over sim.
 func NewExplorer(sim *congest.Simulator) *Explorer {
-	e := &Explorer{sim: sim, state: make([][]RootEntry, sim.N())}
+	e := &Explorer{sim: sim, topo: sim.Topo(), state: make([][]RootEntry, sim.N())}
 	e.res.entries = e.state
 	e.stepFn = e.step
 	return e
@@ -255,12 +256,16 @@ func (e *Explorer) forward(v int, st *RootEntry, ctx *congest.Ctx) {
 	if e.limit != nil && !e.limit(v, st.Root, st.Dist) {
 		return
 	}
-	for _, nb := range e.sim.Graph().Neighbors(v) {
-		ctx.Send(nb.To, congest.Payload{
+	// Iterate the compact topology surface: same neighbor order as
+	// Graph.Neighbors, so the message stream is byte-identical on either
+	// substrate.
+	to, base := e.topo.NeighborRange(v)
+	for i, nb := range to {
+		ctx.Send(int(nb), congest.Payload{
 			Kind: kindExplore,
 			W0:   congest.IntWord(st.Root),
 			W1:   congest.IntWord(st.Origin),
-			W2:   congest.FloatWord(st.Dist + nb.Weight),
+			W2:   congest.FloatWord(st.Dist + e.topo.ArcWeight(base+i)),
 			W3:   congest.IntWord(st.ttl - 1),
 		}, exploreMsgWords)
 	}

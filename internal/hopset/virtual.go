@@ -27,7 +27,8 @@ import (
 // E' is never materialised; algorithms explore it through B-bounded
 // Bellman-Ford searches in G.
 type VirtualGraph struct {
-	host     *graph.Graph
+	host     *graph.Graph // nil for topology-backed virtual graphs
+	hostN    int
 	members  []int
 	isMember []bool
 	b        int
@@ -36,17 +37,31 @@ type VirtualGraph struct {
 // NewVirtualGraph creates the virtual graph over the given members with hop
 // bound b. Members must be valid host vertices; duplicates are removed.
 func NewVirtualGraph(host *graph.Graph, members []int, b int) (*VirtualGraph, error) {
+	vg, err := NewVirtualGraphN(host.N(), members, b)
+	if err != nil {
+		return nil, err
+	}
+	vg.host = host
+	return vg, nil
+}
+
+// NewVirtualGraphN is NewVirtualGraph for topology-backed builds: the
+// virtual graph records only the host size, never a *graph.Graph. The
+// distributed machinery (hopset construction, Bellman-Ford) needs nothing
+// more — only the centralized reference paths (Materialize, ExactDistances)
+// require a *graph.Graph host and panic on a host-less virtual graph.
+func NewVirtualGraphN(hostN int, members []int, b int) (*VirtualGraph, error) {
 	if b < 1 {
 		return nil, fmt.Errorf("hopset: hop bound %d < 1", b)
 	}
 	vg := &VirtualGraph{
-		host:     host,
-		isMember: make([]bool, host.N()),
+		hostN:    hostN,
+		isMember: make([]bool, hostN),
 		b:        b,
 	}
 	for _, v := range members {
-		if v < 0 || v >= host.N() {
-			return nil, fmt.Errorf("hopset: member %d out of range [0,%d)", v, host.N())
+		if v < 0 || v >= hostN {
+			return nil, fmt.Errorf("hopset: member %d out of range [0,%d)", v, hostN)
 		}
 		if !vg.isMember[v] {
 			vg.isMember[v] = true
@@ -57,8 +72,12 @@ func NewVirtualGraph(host *graph.Graph, members []int, b int) (*VirtualGraph, er
 	return vg, nil
 }
 
-// Host returns the host graph.
+// Host returns the host graph, or nil for a virtual graph built with
+// NewVirtualGraphN (centralized reference paths only).
 func (vg *VirtualGraph) Host() *graph.Graph { return vg.host }
+
+// HostN returns the host graph's vertex count.
+func (vg *VirtualGraph) HostN() int { return vg.hostN }
 
 // Members returns the virtual vertices in increasing order (owned by the
 // virtual graph).
@@ -82,7 +101,7 @@ func (vg *VirtualGraph) B() int { return vg.b }
 // blowup. Returns the explicit graph and the host-id-to-virtual-index map
 // (-1 for non-members).
 func (vg *VirtualGraph) Materialize() (*graph.Graph, []int) {
-	toVirt := make([]int, vg.host.N())
+	toVirt := make([]int, vg.hostN)
 	for i := range toVirt {
 		toVirt[i] = -1
 	}
@@ -110,7 +129,7 @@ func (vg *VirtualGraph) ExactDistances(sources []int) map[int][]float64 {
 	out := make(map[int][]float64, len(sources))
 	for _, s := range sources {
 		res := gp.Dijkstra(toVirt[s])
-		dist := make([]float64, vg.host.N())
+		dist := make([]float64, vg.hostN)
 		for i := range dist {
 			dist[i] = graph.Infinity
 		}

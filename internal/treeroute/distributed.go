@@ -51,12 +51,13 @@ func BuildDistributed(sim *congest.Simulator, trees []*graph.Tree, opts DistOpti
 		return &DistResult{}, nil
 	}
 	n := sim.N()
+	topo := sim.Topo()
 	for j, t := range trees {
 		if t.HostSize() != n {
 			return nil, fmt.Errorf("treeroute: tree %d host size %d != graph size %d", j, t.HostSize(), n)
 		}
 		for _, v := range t.Members() {
-			if p := t.Parent(v); p != graph.NoVertex && !sim.Graph().HasEdge(v, p) {
+			if p := t.Parent(v); p != graph.NoVertex && !graph.TopoHasEdge(topo, v, p) {
 				return nil, fmt.Errorf("treeroute: tree %d edge {%d,%d} is not a graph edge", j, v, p)
 			}
 		}
@@ -136,8 +137,7 @@ type treeState struct {
 	idx    int
 	tree   *graph.Tree
 	offset int
-	loc    map[int]int // host vertex -> local index
-	verts  []int       // local index -> host vertex (= tree.Members())
+	verts  []int // local index -> host vertex (= tree.Members())
 
 	inU        []bool
 	localRoot  []int
@@ -197,7 +197,6 @@ func newTreeState(idx int, t *graph.Tree, q float64, maxOffset int, rng *rand.Ra
 	st := &treeState{
 		idx:         idx,
 		tree:        t,
-		loc:         make(map[int]int, m),
 		verts:       t.Members(),
 		inU:         make([]bool, m),
 		localRoot:   make([]int, m),
@@ -227,9 +226,6 @@ func newTreeState(idx int, t *graph.Tree, q float64, maxOffset int, rng *rand.Ra
 		kicked:      make([]bool, m),
 		finalIn:     make([]int, m),
 		finalOut:    make([]int, m),
-	}
-	for l, v := range st.verts {
-		st.loc[v] = l
 	}
 	for l := range st.localRoot {
 		st.localRoot[l] = graph.NoVertex
@@ -314,12 +310,14 @@ func (st *treeState) dupLight(l int) bool {
 }
 
 // l returns v's local index; v must be a member.
-func (st *treeState) l(v int) int { return st.loc[v] }
+func (st *treeState) l(v int) int { return st.tree.MemberIndex(v) }
 
-// member reports membership and returns the local index.
+// member reports membership and returns the local index. Local indices are
+// member slots, so this is the tree's own binary search — no host-sized or
+// hash-table side index is kept per tree.
 func (st *treeState) memberIdx(v int) (int, bool) {
-	l, ok := st.loc[v]
-	return l, ok
+	l := st.tree.MemberIndex(v)
+	return l, l >= 0
 }
 
 func (st *treeState) portals() int {

@@ -105,6 +105,7 @@ func Build(g *graph.Graph, opts Options) (*Scheme, error) {
 	}
 
 	s := &Scheme{Scheme: clusterroute.New(k, n), Levels: levels}
+	topo := graph.FromGraph(g)
 	treeSchemes := make(map[int]*treeroute.Scheme)
 	for i := 0; i < k; i++ {
 		for _, w := range levels[i] {
@@ -118,7 +119,7 @@ func Build(g *graph.Graph, opts Options) (*Scheme, error) {
 			}
 			ts := treeroute.BuildCentralized(tree)
 			treeSchemes[w] = ts
-			s.AddTree(w, tree, g, ts)
+			s.AddTree(w, tree, topo, ts)
 		}
 	}
 
