@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke bench-dataplane bench-dataplane-json metrics-smoke scale-smoke table1 table2 sweeps demo fmt
+.PHONY: all build test vet lint lint-baseline lint-graph lint-graph-update race bench bench-json bench-diff bench-smoke bench-dataplane bench-dataplane-json metrics-smoke scale-smoke ckpt-smoke table1 table2 sweeps demo fmt
 
 all: build vet lint test race
 
@@ -57,10 +57,10 @@ bench:
 # Benchmark-regression snapshot (internal/benchfmt, schema
 # lowmemroute.bench/v1): the congest hot-path micro-benchmarks and the
 # per-package steady-state handler benchmarks at full precision, plus one
-# deterministic pass over the paper tables, rendered as
-# BENCH_$(BENCH_TAG).json. The committed BENCH_PR9.json was produced by
-# `make bench-json BENCH_TAG=PR9`; BENCH_PR4.json is the PR 4 trajectory
-# point it was gated against.
+# deterministic pass over the paper tables (including the sharded Table 1
+# row), rendered as BENCH_$(BENCH_TAG).json. The committed BENCH_PR10.json
+# was produced by `make bench-json BENCH_TAG=PR10`; BENCH_PR9.json is the
+# PR 9 trajectory point it was gated against.
 BENCH_TAG ?= local
 HANDLER_BENCHES = BenchmarkBellmanFordSteady|BenchmarkClusterGrowth|BenchmarkLightPipeline
 bench-json:
@@ -75,8 +75,8 @@ bench-json:
 # a simulation metric (rounds, mem-words, ...). When NEW is missing it is
 # generated first (bench-json), so a bare `make bench-diff` is self-contained:
 # it measures the working tree against the committed PR snapshot. Usage:
-#   make bench-diff OLD=BENCH_PR9.json NEW=BENCH_local.json
-OLD ?= BENCH_PR9.json
+#   make bench-diff OLD=BENCH_PR10.json NEW=BENCH_local.json
+OLD ?= BENCH_PR10.json
 NEW ?= BENCH_local.json
 MAX_REGRESS ?= 0.30
 ALLOC_FLOOR ?= 0
@@ -133,6 +133,21 @@ metrics-smoke:
 scale-smoke:
 	timeout 300 $(GO) run ./cmd/routebench -scale -scale-n 256 -k 2 -family grid -seed 1
 	timeout 300 $(GO) run ./cmd/routebench -scale-probe 32768 -family grid -seed 1
+
+# Checkpoint/resume smoke: one full-build scale cell checkpointed to a file,
+# then the same cell rerun with -resume (completed phases skipped, engine and
+# builder state restored) at a different shard count. The deterministic
+# stdout rows must be byte-identical — resume and sharding are both
+# unobservable in every measured quantity.
+CKPT_SMOKE := /tmp/lowmemroute-ckpt-smoke
+ckpt-smoke:
+	rm -f $(CKPT_SMOKE).ckpt
+	timeout 300 $(GO) run ./cmd/routebench -scale -scale-n 256 -k 2 -family grid -seed 1 \
+		-checkpoint $(CKPT_SMOKE).ckpt > $(CKPT_SMOKE)-1.txt
+	timeout 300 $(GO) run ./cmd/routebench -scale -scale-n 256 -k 2 -family grid -seed 1 \
+		-checkpoint $(CKPT_SMOKE).ckpt -resume -shards 4 > $(CKPT_SMOKE)-2.txt
+	cmp $(CKPT_SMOKE)-1.txt $(CKPT_SMOKE)-2.txt
+	@echo "ckpt-smoke: resumed stdout byte-identical"
 
 # Regenerate the paper's tables and sweeps (EXPERIMENTS.md).
 table1:

@@ -72,6 +72,11 @@ func main() {
 		scaleBudget    = flag.Duration("scale-budget", 0, "soft wall-clock budget for -scale; cells starting after it elapses are skipped and reported on stderr (0 = no budget)")
 		scaleProbe     = flag.Int("scale-probe", 0, "boot the CSR substrate at this size and run one hop-bounded exploration instead of full builds (million-vertex memory check; overrides -sweep)")
 		scaleProbeHops = flag.Int("scale-probe-hops", 64, "exploration hop budget for -scale-probe (0 = flood the whole graph)")
+
+		shards     = flag.Int("shards", 0, "parallel execution shards for -scale and -scale-probe; every stdout row is byte-identical at any shard count (0 = runtime default)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint the run to this file (-scale with a single (n,k) cell, or -scale-probe); written atomically at phase boundaries and, for probes, every -ckpt-every rounds")
+		ckptEvery  = flag.Int64("ckpt-every", 2048, "mid-run checkpoint cadence in executed rounds (-scale-probe; -scale checkpoints at phase boundaries)")
+		resume     = flag.Bool("resume", false, "resume from the -checkpoint file when it exists; completed phases are skipped and the interrupted state restored, with output identical to an uninterrupted run")
 	)
 	flag.Parse()
 
@@ -118,10 +123,18 @@ func main() {
 		schemeFilter = strings.Split(*schemes, ",")
 	}
 
+	if *checkpoint != "" && !*scaleMode && *scaleProbe <= 0 {
+		fatalf("-checkpoint supports -scale and -scale-probe only")
+	}
+
 	failures := 0
 	switch {
 	case *scaleProbe > 0:
-		row, err := metrics.RunSubstrateProbe(graph.Family(*family), *scaleProbe, *scaleProbeHops, *seed)
+		row, err := metrics.RunSubstrateProbe(metrics.ProbeConfig{
+			Family: graph.Family(*family), N: *scaleProbe, Hops: *scaleProbeHops,
+			Seed: *seed, Shards: *shards,
+			Ckpt: makeCheckpointer(*checkpoint, *ckptEvery, *resume),
+		})
 		if err != nil {
 			fatalf("scale-probe: %v", err)
 		}
@@ -132,7 +145,11 @@ func main() {
 		if err != nil {
 			fatalf("bad -scale-n: %v", err)
 		}
-		runScale(graph.Family(*family), sns, ks, *seed, *scaleBudget, reg)
+		if *checkpoint != "" && len(sns)*len(ks) != 1 {
+			fatalf("-scale -checkpoint needs a single (n,k) cell: a checkpoint file belongs to one build (got %d cells)", len(sns)*len(ks))
+		}
+		runScale(graph.Family(*family), sns, ks, *seed, *scaleBudget, *shards,
+			makeCheckpointer(*checkpoint, *ckptEvery, *resume), reg)
 	case *trafficMode:
 		tw, err := parseInts(*trafficWorkers)
 		if err != nil {
@@ -377,7 +394,7 @@ func runTraffic(family graph.Family, ns, ks []int, seed int64, workers []int, sk
 // figures, and budget skips go to stderr. The fitted log-log slope of the
 // per-vertex table and memory averages against n is the paper's n^{1/k}
 // check.
-func runScale(family graph.Family, ns, ks []int, seed int64, budget time.Duration, reg *obs.Registry) {
+func runScale(family graph.Family, ns, ks []int, seed int64, budget time.Duration, shards int, ck *congest.Checkpointer, reg *obs.Registry) {
 	fmt.Printf("E12: memory-curve scale sweep (%s)\n\n", family)
 	start := time.Now()
 	var rows []*metrics.ScaleRow
@@ -390,7 +407,7 @@ func runScale(family graph.Family, ns, ks []int, seed int64, budget time.Duratio
 				continue
 			}
 			row, err := metrics.RunScale(metrics.ScaleConfig{
-				Family: family, N: n, K: k, Seed: seed, Metrics: reg,
+				Family: family, N: n, K: k, Seed: seed, Shards: shards, Ckpt: ck, Metrics: reg,
 			})
 			if err != nil {
 				fatalf("scale n=%d k=%d: %v", n, k, err)
@@ -413,6 +430,30 @@ func runScale(family graph.Family, ns, ks []int, seed int64, budget time.Duratio
 		}
 		fmt.Printf("slope k=%d table_avg_w=%.3f mem_avg_w=%.3f expect=%.3f\n", k, ts, memSlope[k], 1/float64(k))
 	}
+}
+
+// makeCheckpointer builds the -checkpoint/-resume checkpointer: nil when
+// checkpointing is off, a resuming checkpointer when -resume finds an
+// existing file, and a fresh one otherwise (so `-checkpoint X -resume` is
+// idempotent — the first run starts fresh, an interrupted rerun resumes).
+func makeCheckpointer(path string, every int64, resume bool) *congest.Checkpointer {
+	if path == "" {
+		return nil
+	}
+	if resume {
+		if _, err := os.Stat(path); err == nil {
+			ck, err := congest.ResumeCheckpointer(path, every)
+			if err != nil {
+				fatalf("resume %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "routebench: resuming from %s\n", path)
+			return ck
+		} else if !os.IsNotExist(err) {
+			fatalf("resume %s: %v", path, err)
+		}
+		fmt.Fprintf(os.Stderr, "routebench: -resume: no checkpoint at %s, starting fresh\n", path)
+	}
+	return congest.NewCheckpointer(path, every)
 }
 
 // faultSummary renders fault counters as one human line.

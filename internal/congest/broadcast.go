@@ -30,6 +30,9 @@ type BroadcastMsg struct {
 // Cost charged (Lemma 1): rounds = M + 2D for M messages; every message
 // traverses every BFS-tree edge, so messages += M*(n-1).
 func (s *Simulator) Broadcast(msgs []BroadcastMsg, handle func(v int, m *BroadcastMsg)) {
+	if s.resumePending {
+		panic("congest: mid-run checkpoint resume pending; the next simulator primitive must be Run")
+	}
 	if len(msgs) == 0 {
 		return
 	}
@@ -165,6 +168,9 @@ func (s *Simulator) broadcastFaulty(f *faults.Compiled, msgs []BroadcastMsg, han
 // as Broadcast. handle is invoked at the sink for every message, in origin
 // order, with the same read-only pointer contract as Broadcast.
 func (s *Simulator) Convergecast(sink int, msgs []BroadcastMsg, handle func(m *BroadcastMsg)) {
+	if s.resumePending {
+		panic("congest: mid-run checkpoint resume pending; the next simulator primitive must be Run")
+	}
 	if len(msgs) == 0 {
 		return
 	}

@@ -84,8 +84,14 @@ type Simulator struct {
 	inboxMax []int32
 
 	// arena recycles the Ext chunks of variable-length payloads; see the
-	// ownership protocol in payload.go.
-	arena wordArena
+	// ownership protocol in payload.go. It serves the serial paths; each
+	// execution shard additionally owns a shardArena slot so the parallel
+	// step and delivery phases never contend on one free-list mutex. Chunks
+	// migrate freely between arenas (every arena is internally locked and
+	// chunk contents are copied on clone), so which arena served a clone is
+	// unobservable.
+	arena      wordArena
+	shardArena []wordArena
 
 	// ffOff disables the idle-round fast-forward (see Run); the default is
 	// on, and WithIdleFastForward(false) restores literal round-by-round
@@ -162,6 +168,13 @@ type Simulator struct {
 	faultQ     []edgeFaultState // parallel to queues; nil without a plan
 	shardFault []faults.Counters
 	shardSpike [][]faults.Spike
+
+	// Checkpoint/resume wiring (snapshot.go). ckpt, when non-nil, receives
+	// the per-round mid-Run write hook; resumePending arms the next Run call
+	// to continue a restored mid-Run execution at resumeRound.
+	ckpt          *Checkpointer
+	resumePending bool
+	resumeRound   int
 }
 
 // Option configures a Simulator.
@@ -175,6 +188,17 @@ func WithWorkers(w int) Option {
 		}
 	}
 }
+
+// WithShards sets the number of parallel execution shards. A shard owns a
+// contiguous vertex range — those vertices' handler steps, inboxes, dirty
+// worklists and payload arena — and cross-shard traffic merges at the
+// per-round barrier in canonical (destination, sender, edge-sequence) order,
+// so every observable quantity is byte-identical at any shard count (pinned
+// by TestRunWorkerCountInvariance and the core trace test). Shards and the
+// step-phase worker pool are the same partition; WithShards and WithWorkers
+// are therefore aliases, with WithShards the vocabulary of the scale
+// tooling (routebench -shards).
+func WithShards(p int) Option { return WithWorkers(p) }
 
 // WithSeed sets the seed of the simulator's deterministic RNG.
 func WithSeed(seed int64) Option {
@@ -319,6 +343,15 @@ func (s *Simulator) N() int {
 // Diameter returns the hop-diameter bound used for broadcast accounting.
 func (s *Simulator) Diameter() int { return s.d }
 
+// Shards returns the number of parallel execution shards (== the worker
+// pool width; see WithShards).
+func (s *Simulator) Shards() int {
+	if s.workers < 1 {
+		return 1
+	}
+	return s.workers
+}
+
 // Rounds returns the total number of rounds charged so far.
 func (s *Simulator) Rounds() int64 { return s.rounds }
 
@@ -402,6 +435,9 @@ func (s *Simulator) DeriveRand(v int) *rand.Rand {
 
 // AddRounds charges extra rounds for phases accounted analytically.
 func (s *Simulator) AddRounds(k int64) {
+	if s.resumePending {
+		panic("congest: mid-run checkpoint resume pending; the next simulator primitive must be Run")
+	}
 	if k > 0 {
 		s.rounds += k
 		if s.tracer != nil {
@@ -461,6 +497,10 @@ type Ctx struct {
 	outEdge []int32 // out-edges this step transitioned from empty to backed
 	extBuf  []uint64
 	wake    bool
+	// arena is the payload arena of the shard executing this step — the
+	// serial arena on the serial path, the owning worker's shardArena slot
+	// on the parallel path — so Ext clones in Send never contend.
+	arena *wordArena
 }
 
 // Round returns the index of the current round within the active Run.

@@ -188,6 +188,7 @@ func (s *Simulator) ensureTopology() {
 	s.shardRecv = make([][]int32, shards)
 	s.shardMsgs = make([]int64, shards)
 	s.shardWords = make([]int64, shards)
+	s.shardArena = make([]wordArena, shards)
 
 	// A graph that grew since New needs wider inboxes and meters; existing
 	// meter readings are preserved.
@@ -226,27 +227,39 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 	s.ensureTopology()
 	s.ensureFaults()
 
-	// Deduplicated, sorted initial active list in the recycled buffer.
-	s.epoch++
-	act := s.actList[:0]
-	for _, v := range initial {
-		if s.nextStamp[v] != s.epoch {
-			s.nextStamp[v] = s.epoch
-			act = append(act, int32(v))
+	start := 0
+	if s.resumePending {
+		// Continuing a restored mid-Run checkpoint: the active list,
+		// inboxes, edge queues and dirty worklists are already in place
+		// (restoreEngineCkpt), so initial is ignored and execution picks up
+		// at the recorded round. The epoch bump keeps the stamp array's
+		// semantics identical to the uninterrupted run.
+		s.resumePending = false
+		start = s.resumeRound
+		s.epoch++
+	} else {
+		// Deduplicated, sorted initial active list in the recycled buffer.
+		s.epoch++
+		act := s.actList[:0]
+		for _, v := range initial {
+			if s.nextStamp[v] != s.epoch {
+				s.nextStamp[v] = s.epoch
+				act = append(act, int32(v))
+			}
 		}
+		slices.Sort(act)
+		s.actList = act
 	}
-	slices.Sort(act)
-	s.actList = act
 
 	pending := 0 // dirty destinations == destinations with queued traffic
 	for _, l := range s.shardCur {
 		pending += len(l)
 	}
 
-	executed := 0
+	executed := start
 	baseRounds := s.rounds
 	s.faultBase = baseRounds
-	for round := 0; round < maxRounds && (len(s.actList) > 0 || pending > 0); round++ {
+	for round := start; round < maxRounds && (len(s.actList) > 0 || pending > 0); round++ {
 		// Idle-round fast-forward: with no vertex active, rounds until the
 		// next delivery only tick bandwidth budgets. Jump straight there -
 		// the rounds counter advances exactly as if each empty round ran
@@ -373,6 +386,13 @@ func (s *Simulator) Run(initial []int, maxRounds int, step StepFunc) int {
 		slices.Sort(next)
 		s.nextList = next
 		s.actList, s.nextList = s.nextList, s.actList
+
+		// Mid-Run checkpoint hook: the state here — next round's active
+		// list, its delivered inboxes, the carried backlog — is exactly a
+		// round boundary, the point restoreEngineCkpt rebuilds.
+		if s.ckpt != nil {
+			s.ckpt.maybeWriteMid(executed)
+		}
 	}
 	s.rounds += int64(executed)
 
@@ -399,7 +419,7 @@ func (s *Simulator) runRound(round int, step StepFunc) {
 	}
 	if s.workers <= 1 || len(act) < serialThreshold {
 		for i := range act {
-			s.stepVertex(i, round, step)
+			s.stepVertex(i, round, step, &s.arena)
 		}
 		return
 	}
@@ -415,22 +435,24 @@ func (s *Simulator) runRound(round int, step StepFunc) {
 			hi = len(act)
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
+			ar := &s.shardArena[w]
 			for i := lo; i < hi; i++ {
-				s.stepVertex(i, round, step)
+				s.stepVertex(i, round, step, ar)
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
 
 // stepVertex runs one vertex's program for one round in its recycled
-// context slot.
-func (s *Simulator) stepVertex(i, round int, step StepFunc) {
+// context slot. ar is the executing shard's payload arena.
+func (s *Simulator) stepVertex(i, round int, step StepFunc, ar *wordArena) {
 	v := int(s.actList[i])
 	c := &s.ctxs[i]
 	c.sim, c.v, c.round = s, v, round
+	c.arena = ar
 	c.in = s.inbox[v]
 	c.outEdge = c.outEdge[:0]
 	c.wake = false
@@ -557,6 +579,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 	f := s.faults
 	clock := s.faultClock
 	ctr := &s.shardFault[sh]
+	ar := &s.shardArena[sh]
 	base := int(s.inStart[v])
 	region := s.dirtyIn[base : base+int(s.dirtyCnt[v])]
 	slices.Sort(region)
@@ -621,7 +644,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 				if int(fq.attempt) >= f.Budget() {
 					ctr.Lost++
 					if m.Payload.Ext != nil {
-						s.arena.put(m.Payload.Ext)
+						ar.put(m.Payload.Ext)
 						m.Payload.Ext = nil
 					}
 					q.head++
@@ -645,7 +668,7 @@ func (s *Simulator) drainDstFaulty(v, sh int) (int64, int64) {
 				// Deliver a second copy. Its Ext must be a fresh arena
 				// chunk: inbox recycling frees each Ext exactly once.
 				dup := *m
-				dup.Payload.Ext = s.arena.clone(m.Payload.Ext)
+				dup.Payload.Ext = ar.clone(m.Payload.Ext)
 				inb = append(inb, dup)
 				ctr.Duplicated++
 				msgs++
@@ -752,7 +775,11 @@ func (c *Ctx) Send(to int, p Payload, words int) {
 	if words < 1 {
 		words = 1
 	}
-	p.Ext = c.sim.arena.clone(p.Ext)
+	ar := c.arena
+	if ar == nil {
+		ar = &c.sim.arena
+	}
+	p.Ext = ar.clone(p.Ext)
 	// Enqueue straight onto the edge queue: the sender is this queue's only
 	// writer and delivery only runs between rounds, so the append is safe
 	// even on the parallel step path - and the message is copied once, not

@@ -73,7 +73,7 @@ func TestRunWorkerCountInvariance(t *testing.T) {
 	if base.messages == 0 {
 		t.Fatal("workload sent no messages")
 	}
-	for _, workers := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+	for _, workers := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
 		workers := workers
 		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			got := runOnce(workers)

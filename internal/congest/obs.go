@@ -96,6 +96,11 @@ func (s *Simulator) obsRunEnd() {
 	s.obsSyncAll()
 	o.meterHigh.SetMax(s.PeakMemory())
 	chunks, words := s.arena.stats()
+	for i := range s.shardArena {
+		c, w := s.shardArena[i].stats()
+		chunks += c
+		words += w
+	}
 	o.arenaChunks.Set(chunks)
 	o.arenaWords.Set(words)
 }

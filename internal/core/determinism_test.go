@@ -103,7 +103,7 @@ func TestBuildTraceByteIdentical(t *testing.T) {
 
 	// Re-run with the same width (rules out any run-to-run nondeterminism),
 	// then at wider pools (rules out shard-count leaking into the schedule).
-	widths := []int{1, 4, runtime.GOMAXPROCS(0)}
+	widths := []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
 	for _, workers := range widths {
 		workers := workers
 		t.Run(fmt.Sprintf("clean/workers=%d", workers), func(t *testing.T) {
@@ -124,7 +124,7 @@ func TestBuildTraceByteIdentical(t *testing.T) {
 	if bytes.Equal(clean, faulty) {
 		t.Fatal("fault plan left the trace untouched (plan not applied?)")
 	}
-	for _, workers := range []int{1, 4} {
+	for _, workers := range []int{1, 2, 4, 8} {
 		workers := workers
 		t.Run(fmt.Sprintf("faults/workers=%d", workers), func(t *testing.T) {
 			got, peaks := runOnce(workers, congest.WithFaults(plan))

@@ -166,9 +166,15 @@ func (e *Explorer) Explore(sources []Source, opts ExploreOptions) (*ExploreResul
 		maxRounds = 10*opts.Hops + 4*n + 4096
 	}
 
-	// Reset the previous call's state (its result is hereby invalidated).
-	for v := range e.state {
-		e.state[v] = e.state[v][:0]
+	// Reset the previous call's state (its result is hereby invalidated) —
+	// unless this Explore continues a restored mid-run checkpoint, in which
+	// case the lists were just rebuilt by RestoreCkpt and the simulator
+	// resumes the interrupted Run at its recorded round (past round 0, so
+	// the seeds below are never re-applied).
+	if !e.sim.ResumePending() {
+		for v := range e.state {
+			e.state[v] = e.state[v][:0]
+		}
 	}
 
 	// Stable-sort the seeds by host vertex so step's round-0 seeding is a
@@ -310,16 +316,17 @@ func Explore(sim *congest.Simulator, sources []Source, opts ExploreOptions) (*Ex
 	return NewExplorer(sim).Explore(sources, opts)
 }
 
-// DistToSet is a convenience wrapper: a single set-source exploration from
-// all seeds (shared root), returning per-vertex distance, parent and nearest
-// seed. Vertices beyond the hop budget hold Infinity.
-func DistToSet(sim *congest.Simulator, seeds []int, hops int) (dist []float64, parent, origin []int, err error) {
+// DistToSet runs a single set-source exploration from all seeds (shared
+// root) on this Explorer, returning per-vertex distance, parent and nearest
+// seed. Vertices beyond the hop budget hold Infinity. The returned slices are
+// fresh copies, valid beyond the next Explore on this workspace.
+func (e *Explorer) DistToSet(seeds []int, hops int) (dist []float64, parent, origin []int, err error) {
 	const setRoot = -1
 	srcs := make([]Source, 0, len(seeds))
 	for _, s := range seeds {
 		srcs = append(srcs, Source{Root: setRoot, At: s, Dist: 0})
 	}
-	n := sim.N()
+	n := e.sim.N()
 	dist = make([]float64, n)
 	parent = make([]int, n)
 	origin = make([]int, n)
@@ -331,16 +338,21 @@ func DistToSet(sim *congest.Simulator, seeds []int, hops int) (dist []float64, p
 	if len(seeds) == 0 {
 		return dist, parent, origin, nil
 	}
-	res, err := Explore(sim, srcs, ExploreOptions{Hops: hops})
+	res, err := e.Explore(srcs, ExploreOptions{Hops: hops})
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	for v := 0; v < n; v++ {
-		if e, ok := res.Get(v, setRoot); ok {
-			dist[v] = e.Dist
-			parent[v] = e.Parent
-			origin[v] = e.Origin
+		if en, ok := res.Get(v, setRoot); ok {
+			dist[v] = en.Dist
+			parent[v] = en.Parent
+			origin[v] = en.Origin
 		}
 	}
 	return dist, parent, origin, nil
+}
+
+// DistToSet is the one-shot convenience wrapper over a fresh Explorer.
+func DistToSet(sim *congest.Simulator, seeds []int, hops int) (dist []float64, parent, origin []int, err error) {
+	return NewExplorer(sim).DistToSet(seeds, hops)
 }

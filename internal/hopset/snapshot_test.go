@@ -1,0 +1,112 @@
+package hopset
+
+// Mid-run checkpoint/resume of an exploration: an Explore cut off at an
+// interior round (writing a checkpoint on the way) and resumed on a fresh
+// simulator + Explorer must produce exactly the state, distances and meter
+// readings of an uninterrupted run.
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+func TestExploreResumeEquivalence(t *testing.T) {
+	const (
+		n    = 96
+		hops = 12
+		cut  = 4 // interrupt after 4 executed rounds — mid-flood
+	)
+	g, err := graph.Generate(graph.FamilyErdosRenyi, n, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []int{0, 17, 42, 80}
+	srcs := make([]Source, 0, len(seeds))
+	for _, s := range seeds {
+		srcs = append(srcs, Source{Root: s, At: s, Dist: 0})
+	}
+
+	type snap struct {
+		dist      [][]float64
+		cur, peak []int64
+		rounds    int64
+	}
+	capture := func(sim *congest.Simulator, res *ExploreResult) snap {
+		var s snap
+		for v := 0; v < n; v++ {
+			row := make([]float64, 0, len(seeds))
+			for _, root := range seeds {
+				row = append(row, res.Dist(v, root))
+			}
+			s.dist = append(s.dist, row)
+			s.cur = append(s.cur, sim.Mem(v).Current())
+			s.peak = append(s.peak, sim.Mem(v).Peak())
+		}
+		s.rounds = sim.Rounds()
+		return s
+	}
+
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("shards=%d", workers), func(t *testing.T) {
+			refSim := congest.New(g, congest.WithShards(workers))
+			refRes, err := Explore(refSim, srcs, ExploreOptions{Hops: hops})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := capture(refSim, refRes)
+
+			// Interrupted run: MaxRounds == cut aborts the exploration (the
+			// non-convergence error is the simulated crash) after the
+			// checkpointer has written its cadence snapshot at round cut.
+			path := filepath.Join(t.TempDir(), "explore.ckpt")
+			ck := congest.NewCheckpointer(path, cut)
+			ck.MidRun(true)
+			cutSim := congest.New(g, congest.WithShards(workers))
+			if err := ck.Attach(cutSim); err != nil {
+				t.Fatal(err)
+			}
+			cutEx := NewExplorer(cutSim)
+			if err := ck.Register(cutEx); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cutEx.Explore(srcs, ExploreOptions{Hops: hops, MaxRounds: cut}); err == nil {
+				t.Fatalf("exploration converged within %d rounds; cut point is past quiescence", cut)
+			}
+			if err := ck.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			ckr, err := congest.ResumeCheckpointer(path, cut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resSim := congest.New(g, congest.WithShards(workers))
+			if err := ckr.Attach(resSim); err != nil {
+				t.Fatal(err)
+			}
+			resEx := NewExplorer(resSim)
+			if err := ckr.Register(resEx); err != nil {
+				t.Fatal(err)
+			}
+			if !resSim.ResumePending() {
+				t.Fatal("mid-run checkpoint did not arm the simulator for resume")
+			}
+			resRes, err := resEx.Explore(srcs, ExploreOptions{Hops: hops})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := capture(resSim, resRes)
+
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("resumed exploration diverged from the straight run:\nstraight rounds=%d, resumed rounds=%d", ref.rounds, got.rounds)
+			}
+		})
+	}
+}

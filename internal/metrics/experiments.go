@@ -72,6 +72,11 @@ type Table1Config struct {
 	// and the per-lookup latency histogram (LookupHistogram) from every
 	// scheme's stretch measurement.
 	Metrics *obs.Registry
+	// Shards sets the paper scheme's parallel execution shard count
+	// (congest.WithShards); 0 keeps the simulator default. Every measured
+	// column is byte-identical at any shard count, so this only changes
+	// wall-clock time.
+	Shards int
 }
 
 // RunTable1 builds every requested scheme on a fresh copy of the same graph
@@ -133,7 +138,8 @@ func runScheme(name string, g *graph.Graph, cfg Table1Config) (SchemeRow, error)
 		row.LabelWords = s.MaxLabelWords()
 		row.Stretch = MeasureStretchObserved(g, s, cfg.Pairs, r, lat)
 	case "paper":
-		simOpts := []congest.Option{congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics)}
+		simOpts := []congest.Option{congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics),
+			congest.WithShards(cfg.Shards)}
 		if cfg.Trace != nil {
 			simOpts = append(simOpts, congest.WithTrace(cfg.Trace))
 		}

@@ -51,8 +51,17 @@ type ScaleConfig struct {
 	Family graph.Family
 	N, K   int
 	Seed   int64
+	// Shards is the parallel execution shard count (congest.WithShards);
+	// 0 keeps the simulator default. Every observable row field is
+	// byte-identical at any shard count.
+	Shards int
 	// Metrics, when non-nil, receives build phase/progress (see core.Options).
 	Metrics *obs.Registry
+	// Ckpt, when non-nil, checkpoints the build (see core.Options.Ckpt).
+	// RunScale stamps the cell's identity (mode, family, n, k, seed) into the
+	// checkpoint metadata, so resuming under different parameters fails
+	// loudly before any state is restored.
+	Ckpt *congest.Checkpointer
 }
 
 // RunScale generates the instance straight into CSR form (no slice-of-slices
@@ -71,11 +80,27 @@ func RunScale(cfg ScaleConfig) (*ScaleRow, error) {
 	row.M = csr.M()
 	row.GraphBytes = csr.MemoryBytes()
 
-	sim := congest.NewTopo(csr, congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics))
+	for _, kv := range [][2]string{
+		{"mode", "scale"},
+		{"family", string(cfg.Family)},
+		{"n", strconv.Itoa(csr.N())},
+		{"k", strconv.Itoa(cfg.K)},
+		{"seed", strconv.FormatInt(cfg.Seed, 10)},
+	} {
+		if err := cfg.Ckpt.SetMeta(kv[0], kv[1]); err != nil {
+			return nil, fmt.Errorf("metrics: scale checkpoint: %w", err)
+		}
+	}
+
+	sim := congest.NewTopo(csr, congest.WithSeed(cfg.Seed), congest.WithMetrics(cfg.Metrics),
+		congest.WithShards(cfg.Shards))
 	t1 := time.Now()
-	s, err := core.Build(sim, core.Options{K: cfg.K, Seed: cfg.Seed, Metrics: cfg.Metrics})
+	s, err := core.Build(sim, core.Options{K: cfg.K, Seed: cfg.Seed, Metrics: cfg.Metrics, Ckpt: cfg.Ckpt})
 	if err != nil {
 		return nil, fmt.Errorf("metrics: scale build n=%d k=%d: %w", cfg.N, cfg.K, err)
+	}
+	if err := cfg.Ckpt.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: scale checkpoint n=%d k=%d: %w", cfg.N, cfg.K, err)
 	}
 	row.BuildWall = time.Since(t1)
 
@@ -149,33 +174,78 @@ type ProbeRow struct {
 	PeakRSS     uint64
 }
 
+// ProbeConfig configures one RunSubstrateProbe invocation.
+type ProbeConfig struct {
+	Family graph.Family
+	N      int
+	// Hops bounds the set-source exploration; <= 0 floods the whole graph. A
+	// bounded budget (the default in cmd/routebench) keeps the exploration
+	// itself cheap so the probe measures the substrate's resident footprint,
+	// not Bellman-Ford congestion.
+	Hops int
+	Seed int64
+	// Shards is the parallel execution shard count (congest.WithShards);
+	// 0 keeps the simulator default.
+	Shards int
+	// Ckpt, when non-nil, checkpoints the exploration mid-run at the
+	// checkpointer's round cadence: the probe is one long Run, so the
+	// explorer registers as a provider and the engine snapshots at round
+	// boundaries. A resumed probe continues the interrupted exploration and
+	// reports the same row.
+	Ckpt *congest.Checkpointer
+}
+
 // RunSubstrateProbe streams an n-vertex instance into CSR form, boots the
 // topology-backed simulator (which materialises its full directed-edge
-// engine state), and runs one hop-bounded set-source exploration. hops <= 0
-// floods the whole graph; a bounded budget (the default in cmd/routebench)
-// keeps the exploration itself cheap so the probe measures the substrate's
-// resident footprint, not Bellman-Ford congestion.
-func RunSubstrateProbe(family graph.Family, n, hops int, seed int64) (*ProbeRow, error) {
-	row := &ProbeRow{Family: family, N: n}
+// engine state), and runs one hop-bounded set-source exploration.
+func RunSubstrateProbe(cfg ProbeConfig) (*ProbeRow, error) {
+	row := &ProbeRow{Family: cfg.Family, N: cfg.N}
+	hops := cfg.Hops
 	if hops <= 0 {
-		hops = n
+		hops = cfg.N
 	}
 
 	t0 := time.Now()
-	csr, err := graph.GenerateCSR(family, n, rand.New(rand.NewSource(seed)))
+	csr, err := graph.GenerateCSR(cfg.Family, cfg.N, rand.New(rand.NewSource(cfg.Seed)))
 	if err != nil {
-		return nil, fmt.Errorf("metrics: probe generate n=%d: %w", n, err)
+		return nil, fmt.Errorf("metrics: probe generate n=%d: %w", cfg.N, err)
 	}
 	row.GenWall = time.Since(t0)
 	row.N = csr.N()
 	row.M = csr.M()
 	row.GraphBytes = csr.MemoryBytes()
 
-	sim := congest.NewTopo(csr, congest.WithSeed(seed))
+	for _, kv := range [][2]string{
+		{"mode", "probe"},
+		{"family", string(cfg.Family)},
+		{"n", strconv.Itoa(csr.N())},
+		{"hops", strconv.Itoa(hops)},
+		{"seed", strconv.FormatInt(cfg.Seed, 10)},
+	} {
+		if err := cfg.Ckpt.SetMeta(kv[0], kv[1]); err != nil {
+			return nil, fmt.Errorf("metrics: probe checkpoint: %w", err)
+		}
+	}
+
+	sim := congest.NewTopo(csr, congest.WithSeed(cfg.Seed), congest.WithShards(cfg.Shards))
+	// The probe is a single Run with one stateful provider (the explorer),
+	// whose estimate lists are consistent at every round boundary — exactly
+	// the contract mid-run cadence snapshots need.
+	cfg.Ckpt.MidRun(true)
+	if err := cfg.Ckpt.Attach(sim); err != nil {
+		return nil, fmt.Errorf("metrics: probe checkpoint: %w", err)
+	}
+	ex := hopset.NewExplorer(sim)
+	if err := cfg.Ckpt.Register(ex); err != nil {
+		return nil, fmt.Errorf("metrics: probe checkpoint: %w", err)
+	}
 	t1 := time.Now()
-	dist, _, _, err := hopset.DistToSet(sim, []int{0}, hops)
+	dist, _, _, err := ex.DistToSet([]int{0}, hops)
 	if err != nil {
-		return nil, fmt.Errorf("metrics: probe exploration n=%d: %w", n, err)
+		return nil, fmt.Errorf("metrics: probe exploration n=%d: %w", cfg.N, err)
+	}
+	if err := cfg.Ckpt.Err(); err != nil {
+		return nil, fmt.Errorf("metrics: probe checkpoint n=%d: %w", cfg.N, err)
 	}
 	row.ExploreWall = time.Since(t1)
 	for _, d := range dist {

@@ -135,7 +135,11 @@ func WriteExportJSON(w io.Writer, e Export) error {
 
 // ReadJSON parses a JSON export, rejecting unknown schema versions. The
 // current schema, v2, and v1 (strict subsets: each bump only added
-// omitempty fields) are all accepted.
+// omitempty fields) are all accepted. A file from a *future* schema version
+// (a v4 export landing on a v3 reader) gets its own explicit error: schema
+// bumps mark incompatible changes, so decoding such a file as v3 could
+// silently misparse it, and "unsupported schema" alone would hide that the
+// fix is to upgrade the reader, not the file.
 func ReadJSON(r io.Reader) (Export, error) {
 	var out Export
 	if err := json.NewDecoder(r).Decode(&out); err != nil {
@@ -144,6 +148,10 @@ func ReadJSON(r io.Reader) (Export, error) {
 	switch out.Schema {
 	case SchemaVersion, SchemaVersionV2, SchemaVersionV1:
 	default:
+		if n, ok := schemaNumber(out.Schema, traceSchemaFamily); ok && n > traceSchemaMax {
+			return Export{}, fmt.Errorf("trace: export schema %q was written by a newer version (this reader understands up to v%d); upgrade the reader",
+				out.Schema, traceSchemaMax)
+		}
 		return Export{}, fmt.Errorf("trace: unsupported schema %q (want %q, %q, or %q)",
 			out.Schema, SchemaVersion, SchemaVersionV2, SchemaVersionV1)
 	}

@@ -68,6 +68,7 @@ func buildShiftsFixture(tb testing.TB) *distBuilder {
 	for j, t := range trees {
 		b.ts = append(b.ts, newTreeState(j, t, q, maxOffset, b.rng))
 	}
+	b.buildMembership()
 	b.cap = 16*n*(b.iters+2) + 64*b.iters + 4096
 	for _, phase := range []func() error{
 		b.phaseLocalRoots, b.phaseLocalSizes,

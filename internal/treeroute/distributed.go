@@ -26,6 +26,12 @@ type DistOptions struct {
 	// (local-roots, local-sizes, global-sizes, ...). Nil disables span
 	// recording at no cost.
 	Trace *trace.Recorder
+	// Ckpt, when non-nil, brackets every phase as a checkpoint unit
+	// ("tree:local-roots", ...): a snapshot is written after each, and a
+	// resumed build skips completed phases, restoring the builder's durable
+	// state at the cursor. The checkpointer must already be attached to the
+	// simulator (core.Build does this; direct callers call Attach).
+	Ckpt *congest.Checkpointer
 }
 
 // DistResult carries the schemes built by BuildDistributed plus
@@ -82,33 +88,60 @@ func BuildDistributed(sim *congest.Simulator, trees []*graph.Tree, opts DistOpti
 	for j, t := range trees {
 		b.ts = append(b.ts, newTreeState(j, t, q, maxOffset, b.rng))
 	}
+	b.buildMembership()
+
+	ck := opts.Ckpt
+	if err := ck.Register(b); err != nil {
+		return nil, err
+	}
+	// unit brackets one phase as a checkpoint unit: skipped entirely when the
+	// resumed cursor already covers it, snapshotted after running otherwise.
+	unit := func(name string, phase func() error) error {
+		if ck.UnitDone(name) {
+			return nil
+		}
+		if err := phase(); err != nil {
+			return err
+		}
+		ck.Mark(name)
+		return nil
+	}
+	jump := func(name string, phase func()) func() error {
+		return func() error { b.spanned(name, phase); return nil }
+	}
 
 	// The cap is generous: local phases are bounded by tree height times
 	// list transmission time; hitting the cap means a bug, not load.
 	b.cap = 16*n*(b.iters+2) + 64*b.iters + 4096
 
-	if err := b.phaseLocalRoots(); err != nil {
+	if err := unit("tree:local-roots", b.phaseLocalRoots); err != nil {
 		return nil, err
 	}
-	if err := b.phaseLocalSizes(); err != nil {
+	if err := unit("tree:local-sizes", b.phaseLocalSizes); err != nil {
 		return nil, err
 	}
-	b.spanned("global-sizes", b.phaseGlobalSizes)
-	if err := b.phaseSizesDown(); err != nil {
+	if err := unit("tree:global-sizes", jump("global-sizes", b.phaseGlobalSizes)); err != nil {
 		return nil, err
 	}
-	if err := b.phaseLocalLight(); err != nil {
+	if err := unit("tree:sizes-down", b.phaseSizesDown); err != nil {
 		return nil, err
 	}
-	b.spanned("global-light", b.phaseGlobalLight)
-	if err := b.phaseLightDown(); err != nil {
+	if err := unit("tree:local-light", b.phaseLocalLight); err != nil {
 		return nil, err
 	}
-	if err := b.phaseLocalDFS(); err != nil {
+	if err := unit("tree:global-light", jump("global-light", b.phaseGlobalLight)); err != nil {
 		return nil, err
 	}
-	b.spanned("global-shifts", b.phaseGlobalShifts)
-	if err := b.phaseShiftsDown(); err != nil {
+	if err := unit("tree:light-down", b.phaseLightDown); err != nil {
+		return nil, err
+	}
+	if err := unit("tree:local-dfs", b.phaseLocalDFS); err != nil {
+		return nil, err
+	}
+	if err := unit("tree:global-shifts", jump("global-shifts", b.phaseGlobalShifts)); err != nil {
+		return nil, err
+	}
+	if err := unit("tree:shifts-down", b.phaseShiftsDown); err != nil {
 		return nil, err
 	}
 
@@ -309,17 +342,6 @@ func (st *treeState) dupLight(l int) bool {
 	return false
 }
 
-// l returns v's local index; v must be a member.
-func (st *treeState) l(v int) int { return st.tree.MemberIndex(v) }
-
-// member reports membership and returns the local index. Local indices are
-// member slots, so this is the tree's own binary search — no host-sized or
-// hash-table side index is kept per tree.
-func (st *treeState) memberIdx(v int) (int, bool) {
-	l := st.tree.MemberIndex(v)
-	return l, l >= 0
-}
-
 func (st *treeState) portals() int {
 	c := 0
 	for l := range st.verts {
@@ -358,11 +380,72 @@ type distBuilder struct {
 	tr    *trace.Recorder
 	ts    []*treeState
 
+	// Host-vertex membership CSR: membEnt[membOff[v]:membOff[v+1]] lists the
+	// (tree, local index) pairs of the trees containing v, in ascending tree
+	// order. Step functions and receive paths iterate or search this segment
+	// instead of scanning every treeState and binary-searching its member
+	// list per message — builder-side bookkeeping, like msgs/extBufs, not
+	// vertex memory.
+	membOff []int32
+	membEnt []membEntry
+
 	// Reusable broadcast buffers for the pointer-jumping stages: the
 	// message slice and the per-message-index payload tails (broadcast
 	// tails stay caller-owned, so per-index pooling is safe).
 	msgs    []congest.BroadcastMsg
 	extBufs [][]uint64
+}
+
+type membEntry struct{ tree, local int32 }
+
+// buildMembership assembles the host-vertex → (tree, local index) CSR. Trees
+// are appended in ascending index order, so each vertex's segment comes out
+// sorted by tree — the same visit order as the former scan over b.ts.
+func (b *distBuilder) buildMembership() {
+	off := make([]int32, b.n+1)
+	for _, st := range b.ts {
+		for _, v := range st.verts {
+			off[v+1]++
+		}
+	}
+	for v := 0; v < b.n; v++ {
+		off[v+1] += off[v]
+	}
+	ent := make([]membEntry, off[b.n])
+	cur := make([]int32, b.n)
+	copy(cur, off[:b.n])
+	for j, st := range b.ts {
+		for l, v := range st.verts {
+			ent[cur[v]] = membEntry{tree: int32(j), local: int32(l)}
+			cur[v]++
+		}
+	}
+	b.membOff, b.membEnt = off, ent
+}
+
+// memb returns v's membership segment (ascending tree index, alloc-free).
+func (b *distBuilder) memb(v int) []membEntry {
+	return b.membEnt[b.membOff[v]:b.membOff[v+1]]
+}
+
+// local returns v's local index in st, or -1 when v is not a member: a
+// binary search over v's membership segment, which is much shorter than
+// st's member list.
+func (b *distBuilder) local(st *treeState, v int) int {
+	seg := b.memb(v)
+	lo, hi := 0, len(seg)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if int(seg[mid].tree) < st.idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(seg) && int(seg[lo].tree) == st.idx {
+		return int(seg[lo].local)
+	}
+	return -1
 }
 
 // extBuf returns the reusable tail buffer for broadcast message index i.

@@ -59,9 +59,9 @@ func encodeLight(dst []uint64, list []LightEdge) {
 func (b *distBuilder) phaseLocalRoots() error {
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
 	return b.runPhase("local-roots", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] {
+		for _, e := range b.memb(v) {
+			st, l := b.ts[e.tree], int(e.local)
+			if !st.inU[l] {
 				continue
 			}
 			if ctx.Round() < st.offset {
@@ -82,7 +82,7 @@ func (b *distBuilder) phaseLocalRoots() error {
 				continue
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l := st.l(v)
+			l := b.local(st, v)
 			// Each vertex receives exactly one kindRoot per tree; a second
 			// receipt is a faulty re-delivery and must not re-charge or
 			// re-flood.
@@ -134,9 +134,9 @@ func (b *distBuilder) phaseLocalSizes() error {
 	}
 	initial := b.union(func(st *treeState, l int) bool { return st.pending[l] == 0 })
 	return b.runPhase("local-sizes", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || st.pending[l] != 0 || st.kicked[l] {
+		for _, e := range b.memb(v) {
+			st, l := b.ts[e.tree], int(e.local)
+			if st.pending[l] != 0 || st.kicked[l] {
 				continue
 			}
 			if ctx.Round() < st.offset {
@@ -154,7 +154,7 @@ func (b *distBuilder) phaseLocalSizes() error {
 				continue
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l := st.l(v)
+			l := b.local(st, v)
 			// The pending countdown tolerates exactly one report per child;
 			// drop faulty re-deliveries.
 			if st.dupSize(l, m.From) {
@@ -211,8 +211,8 @@ func (b *distBuilder) phaseGlobalSizes() {
 				return
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] {
+			l := b.local(st, v)
+			if l < 0 || !st.inU[l] {
 				return
 			}
 			x, a := congest.WordInt(p.W1), congest.WordInt(p.W2)
@@ -275,9 +275,9 @@ func (b *distBuilder) phaseSizesDown() error {
 	}
 	initial := b.union(kick)
 	return b.runPhase("sizes-down", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || !kick(st, l) || st.kicked[l] {
+		for _, e := range b.memb(v) {
+			st, l := b.ts[e.tree], int(e.local)
+			if !kick(st, l) || st.kicked[l] {
 				continue
 			}
 			if ctx.Round() < st.offset {
@@ -300,7 +300,7 @@ func (b *distBuilder) phaseSizesDown() error {
 				continue
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l := st.l(v)
+			l := b.local(st, v)
 			if st.dupSize(l, m.From) {
 				continue
 			}
@@ -347,9 +347,9 @@ func (b *distBuilder) phaseLocalLight() error {
 	}
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
 	return b.runPhase("local-light", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] {
+		for _, e := range b.memb(v) {
+			st, l := b.ts[e.tree], int(e.local)
+			if !st.inU[l] {
 				continue
 			}
 			if ctx.Round() < st.offset {
@@ -370,7 +370,7 @@ func (b *distBuilder) phaseLocalLight() error {
 				continue
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l := st.l(v)
+			l := b.local(st, v)
 			if st.dupLight(l) {
 				continue
 			}
@@ -442,8 +442,8 @@ func (b *distBuilder) phaseGlobalLight() {
 				return
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
+			l := b.local(st, v)
+			if l < 0 || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
 				return
 			}
 			k := congest.WordInt(p.W2)
@@ -480,9 +480,9 @@ func (b *distBuilder) phaseLightDown() error {
 	}
 	initial := b.union(func(st *treeState, l int) bool { return st.inU[l] })
 	return b.runPhase("light-down", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] {
+		for _, e := range b.memb(v) {
+			st, l := b.ts[e.tree], int(e.local)
+			if !st.inU[l] {
 				continue
 			}
 			if ctx.Round() < st.offset {
@@ -510,7 +510,7 @@ func (b *distBuilder) phaseLightDown() error {
 				continue
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l := st.l(v)
+			l := b.local(st, v)
 			if st.inU[l] || st.dupLight(l) {
 				continue
 			}
@@ -585,9 +585,9 @@ func (b *distBuilder) phaseLocalDFS() error {
 	}
 	initial := b.union(kick)
 	return b.runPhase("local-dfs", initial, func(v int, ctx *congest.Ctx) {
-		for _, st := range b.ts {
-			l, ok := st.memberIdx(v)
-			if !ok || !kick(st, l) || st.kicked[l] {
+		for _, e := range b.memb(v) {
+			st, l := b.ts[e.tree], int(e.local)
+			if !kick(st, l) || st.kicked[l] {
 				continue
 			}
 			if ctx.Round() < st.offset {
@@ -617,7 +617,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 			switch p.Kind {
 			case kindIdx:
 				st := b.ts[congest.WordInt(p.W0)]
-				l := st.l(v)
+				l := b.local(st, v)
 				// Sibling indices are 1-based, so a non-zero sibIdx means
 				// this is a faulty re-delivery.
 				if st.sibIdx[l] != 0 {
@@ -644,7 +644,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 				}
 			case kindFwd:
 				st := b.ts[congest.WordInt(p.W0)]
-				l := st.l(v)
+				l := b.local(st, v)
 				if st.sibIdx[l] == 0 {
 					// Per-edge FIFO delivery puts kindIdx first even under
 					// faults, unless the index was lost outright (exhausted
@@ -673,7 +673,7 @@ func (b *distBuilder) phaseLocalDFS() error {
 				maybeComplete(st, v, l, ctx)
 			case kindRange:
 				st := b.ts[congest.WordInt(p.W0)]
-				l := st.l(v)
+				l := b.local(st, v)
 				if st.haveQ[l] {
 					continue // faulty re-delivery; one range per vertex
 				}
@@ -729,8 +729,8 @@ func (b *distBuilder) phaseGlobalShifts() {
 				return
 			}
 			st := b.ts[congest.WordInt(p.W0)]
-			l, ok := st.memberIdx(v)
-			if !ok || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
+			l := b.local(st, v)
+			if l < 0 || !st.inU[l] || st.anc[l][i] != congest.WordInt(p.W1) {
 				return
 			}
 			st.tmpQ[l] = congest.WordInt(p.W2) // q_i(a_i(v))
@@ -757,9 +757,9 @@ func (b *distBuilder) finalizeShift(st *treeState, l, shift int, ctx *congest.Ct
 // named method (not a per-phase closure) so a warm flood re-run allocates
 // nothing - the steady-state alloc test pins that.
 func (b *distBuilder) stepShiftsDown(v int, ctx *congest.Ctx) {
-	for _, st := range b.ts {
-		l, ok := st.memberIdx(v)
-		if !ok || !st.inU[l] {
+	for _, e := range b.memb(v) {
+		st, l := b.ts[e.tree], int(e.local)
+		if !st.inU[l] {
 			continue
 		}
 		if ctx.Round() < st.offset {
@@ -779,7 +779,7 @@ func (b *distBuilder) stepShiftsDown(v int, ctx *congest.Ctx) {
 			continue
 		}
 		st := b.ts[congest.WordInt(p.W0)]
-		l := st.l(v)
+		l := b.local(st, v)
 		// finalIn is at least 1 once set (localIn >= 1, shift >= 0), so a
 		// non-zero value marks a faulty re-delivery of the shift flood.
 		if st.inU[l] || st.finalIn[l] != 0 {

@@ -1,0 +1,129 @@
+package treeroute
+
+// Build-level checkpoint/resume: a distributed construction checkpointed at
+// every phase boundary must be resumable from EVERY cut point, with the
+// resumed build's schemes, engine counters and meter peaks identical to an
+// uninterrupted build. Resuming from all ten cuts is what pins the
+// durable-vs-transient classification in the builder's checkpoint section: a
+// field wrongly left out only bites at the cut right after the phase that
+// wrote it.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"math/rand"
+
+	"lowmemroute/internal/congest"
+	"lowmemroute/internal/graph"
+)
+
+type buildSnap struct {
+	rounds, messages, words int64
+	peaks                   []int64
+	schemes                 []*Scheme
+}
+
+func captureBuild(sim *congest.Simulator, res *DistResult) buildSnap {
+	s := buildSnap{rounds: sim.Rounds(), messages: sim.Messages(), words: sim.Words(), schemes: res.Schemes}
+	for v := 0; v < sim.N(); v++ {
+		s.peaks = append(s.peaks, sim.Mem(v).Peak())
+	}
+	return s
+}
+
+func requireBuildsEqual(t *testing.T, got, want buildSnap) {
+	t.Helper()
+	if got.rounds != want.rounds || got.messages != want.messages || got.words != want.words {
+		t.Fatalf("counters differ: rounds %d vs %d, messages %d vs %d, words %d vs %d",
+			got.rounds, want.rounds, got.messages, want.messages, got.words, want.words)
+	}
+	if !reflect.DeepEqual(got.peaks, want.peaks) {
+		t.Fatal("per-vertex meter peaks differ")
+	}
+	if len(got.schemes) != len(want.schemes) {
+		t.Fatalf("scheme counts differ: %d vs %d", len(got.schemes), len(want.schemes))
+	}
+	for j := range want.schemes {
+		requireSchemesEqual(t, got.schemes[j], want.schemes[j])
+	}
+}
+
+func TestBuildDistributedResumeEveryCut(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	g, err := graph.Generate(graph.FamilyErdosRenyi, 100, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees := makeTrees(t, g, []int{0, 10}, "dfs", 4)
+	opts := DistOptions{Seed: 5}
+
+	build := func(ck *congest.Checkpointer) (buildSnap, error) {
+		sim := congest.New(g, congest.WithSeed(opts.Seed))
+		if err := ck.Attach(sim); err != nil {
+			return buildSnap{}, err
+		}
+		o := opts
+		o.Ckpt = ck
+		res, err := BuildDistributed(sim, trees, o)
+		if err != nil {
+			return buildSnap{}, err
+		}
+		if err := ck.Err(); err != nil {
+			return buildSnap{}, err
+		}
+		return captureBuild(sim, res), nil
+	}
+
+	ref, err := build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Full build under a checkpointer, squirrelling away the snapshot after
+	// each of the ten phases.
+	dir := t.TempDir()
+	live := filepath.Join(dir, "build.ckpt")
+	ck := congest.NewCheckpointer(live, 0)
+	var cuts []string
+	var units []string
+	ck.SetOnMark(func(unit string, step int64) {
+		raw, err := os.ReadFile(live)
+		if err != nil {
+			t.Errorf("read checkpoint after %s: %v", unit, err)
+			return
+		}
+		cut := filepath.Join(dir, fmt.Sprintf("cut-%02d.ckpt", step))
+		if err := os.WriteFile(cut, raw, 0o644); err != nil {
+			t.Errorf("copy checkpoint after %s: %v", unit, err)
+			return
+		}
+		cuts = append(cuts, cut)
+		units = append(units, unit)
+	})
+	full, err := build(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBuildsEqual(t, full, ref) // checkpointing must not perturb the build
+	if len(cuts) != 10 {
+		t.Fatalf("recorded %d cut points, want 10 (units: %v)", len(cuts), units)
+	}
+
+	for i, cut := range cuts {
+		t.Run(units[i], func(t *testing.T) {
+			ckr, err := congest.ResumeCheckpointer(cut, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := build(ckr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireBuildsEqual(t, got, ref)
+		})
+	}
+}
